@@ -1,0 +1,294 @@
+// Benchmarks regenerating the paper's exhibits. One bench per table and
+// figure (see DESIGN.md §3), plus ablations for the design choices called
+// out in DESIGN.md §5 and micro-benchmarks for the hot paths.
+//
+// The per-iteration work uses scaled test sets (tables.QuickConfig) so the
+// suite completes in minutes; `cmd/experiments` regenerates the complete
+// 39+29-circuit tables and writes EXPERIMENTS.md-ready output.
+package tcomp
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/blockcode"
+	"repro/internal/core"
+	"repro/internal/ea"
+	"repro/internal/huffman"
+	"repro/internal/iscasgen"
+	"repro/internal/ninec"
+	"repro/internal/tables"
+	"repro/internal/testset"
+)
+
+// benchConfig returns the scaled experiment configuration used by the
+// table benches.
+func benchConfig(circuits ...string) tables.Config {
+	c := tables.QuickConfig(1)
+	c.MaxBits = 12000
+	c.Runs = 1
+	c.Generations = 30
+	c.NoImprove = 12
+	c.Sweep = false
+	c.Circuits = circuits
+	return c
+}
+
+// BenchmarkTable1 regenerates Table 1 (stuck-at) on a representative
+// circuit subset spanning the paper's rate spectrum, reporting the four
+// column averages as metrics.
+func BenchmarkTable1(b *testing.B) {
+	cfg := benchConfig("s349", "s298", "s386", "s444", "c432", "s838")
+	var rows []tables.Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = tables.RunTable1(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	r9c, r9chc, rea, rea2 := tables.Averages(rows)
+	b.ReportMetric(r9c, "avg9C%")
+	b.ReportMetric(r9chc, "avg9CHC%")
+	b.ReportMetric(rea, "avgEA%")
+	b.ReportMetric(rea2, "avgEABest%")
+}
+
+// BenchmarkTable2 regenerates Table 2 (path delay) on a representative
+// subset, reporting 9C, 9C+HC, EA1 (K=8,L=9) and EA2 (K=12,L=64) averages.
+func BenchmarkTable2(b *testing.B) {
+	cfg := benchConfig("s27", "s298", "s382", "s526", "s1494")
+	var rows []tables.Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = tables.RunTable2(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	r9c, r9chc, ea1, ea2 := tables.Averages(rows)
+	b.ReportMetric(r9c, "avg9C%")
+	b.ReportMetric(r9chc, "avg9CHC%")
+	b.ReportMetric(ea1, "avgEA1%")
+	b.ReportMetric(ea2, "avgEA2%")
+}
+
+// BenchmarkEAConvergence exercises the Figure 1 loop and reports the
+// best-fitness trajectory (initial vs final) — the data behind the
+// paper's claim that the EA finds good MV sets.
+func BenchmarkEAConvergence(b *testing.B) {
+	m, err := iscasgen.Find("s444", iscasgen.StuckAt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts, err := iscasgen.Generate(m, iscasgen.GenOptions{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := core.DefaultParams(1)
+	p.Runs = 1
+	p.EA.MaxGenerations = 60
+	p.EA.MaxNoImprove = 60
+	var res *core.Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err = core.Compress(ts, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	hist := res.Runs[0].History
+	b.ReportMetric(hist[0].Best, "gen0rate%")
+	b.ReportMetric(hist[len(hist)-1].Best, "finalrate%")
+	b.ReportMetric(float64(res.Runs[0].Evals), "evals")
+}
+
+// BenchmarkSweepKL backs the EA-Best column and the paper's stability
+// remark: rates across a (K,L) grid stay within a narrow band.
+func BenchmarkSweepKL(b *testing.B) {
+	m, err := iscasgen.Find("s298", iscasgen.StuckAt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts, err := iscasgen.Generate(m, iscasgen.GenOptions{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	base := core.DefaultParams(2)
+	base.Runs = 1
+	base.EA.MaxGenerations = 25
+	base.EA.MaxNoImprove = 10
+	var best core.SweepPoint
+	var points []core.SweepPoint
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		points, best, err = core.Sweep(ts, base, []int{8, 12, 16}, []int{16, 64})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	worst := best.Rate
+	for _, p := range points {
+		if p.Rate < worst {
+			worst = p.Rate
+		}
+	}
+	b.ReportMetric(best.Rate, "bestrate%")
+	b.ReportMetric(best.Rate-worst, "spread%")
+}
+
+// BenchmarkAblationSubsume measures the Section 3.3 subsumption post-pass
+// (paper: "handling such cases explicitly could improve the compression
+// rate").
+func BenchmarkAblationSubsume(b *testing.B) {
+	m, _ := iscasgen.Find("s510", iscasgen.StuckAt)
+	ts, err := iscasgen.Generate(m, iscasgen.GenOptions{Seed: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := core.DefaultParams(3)
+	p.Runs = 1
+	p.EA.MaxGenerations = 30
+	p.EA.MaxNoImprove = 12
+	var plain, opt *core.Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.SubsumeOpt = false
+		plain, err = core.Compress(ts, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p.SubsumeOpt = true
+		opt, err = core.Compress(ts, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(plain.Final.RatePercent(), "plain%")
+	b.ReportMetric(opt.Final.RatePercent(), "subsume%")
+}
+
+// BenchmarkAblationCoverOrder compares the paper's min-U covering order
+// against encoding-length-aware covering on the 9C MV set.
+func BenchmarkAblationCoverOrder(b *testing.B) {
+	m, _ := iscasgen.Find("s641", iscasgen.StuckAt)
+	ts, err := iscasgen.Generate(m, iscasgen.GenOptions{Seed: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	set, err := ninec.MVs(8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	blocks := blockcode.Partition(ts, 8)
+	code := ninec.FixedCode()
+	var minU, minEnc int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		covU := set.Cover(blocks)
+		minU = set.CompressedBits(covU, code.Lengths)
+		covE := set.CoverByEncoding(blocks, code.Lengths)
+		minEnc = set.CompressedBits(covE, code.Lengths)
+	}
+	b.ReportMetric(blockcode.Rate(ts.TotalBits(), minU), "minU%")
+	b.ReportMetric(blockcode.Rate(ts.TotalBits(), minEnc), "minEnc%")
+}
+
+// BenchmarkAblationOperators compares uniform vs two-point crossover (the
+// paper leaves operator tuning as future work).
+func BenchmarkAblationOperators(b *testing.B) {
+	m, _ := iscasgen.Find("s400", iscasgen.StuckAt)
+	ts, err := iscasgen.Generate(m, iscasgen.GenOptions{Seed: 5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(kind ea.CrossoverKind) float64 {
+		p := core.DefaultParams(5)
+		p.Runs = 1
+		p.EA.MaxGenerations = 30
+		p.EA.MaxNoImprove = 12
+		p.EA.Crossover = kind
+		res, err := core.Compress(ts, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res.BestRate
+	}
+	var uni, two float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		uni = run(ea.UniformCrossover)
+		two = run(ea.TwoPointCrossover)
+	}
+	b.ReportMetric(uni, "uniform%")
+	b.ReportMetric(two, "twopoint%")
+}
+
+// --- micro-benchmarks on the hot paths ---
+
+func benchTestSet(b *testing.B, density float64) *testset.TestSet {
+	b.Helper()
+	return testset.Random(64, 200, density, rand.New(rand.NewSource(7)))
+}
+
+// BenchmarkCovering measures min-U covering throughput (the EA fitness
+// inner loop).
+func BenchmarkCovering(b *testing.B) {
+	ts := benchTestSet(b, 0.3)
+	blocks := blockcode.Partition(ts, 12)
+	set := core.RandomMVSet(12, 64, 0.5, rand.New(rand.NewSource(8)))
+	ms := blockcode.Dedup(blocks)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cov := set.CoverMultiset(ms)
+		if !cov.OK() {
+			b.Fatal("uncovered")
+		}
+	}
+}
+
+// BenchmarkFitness measures one full fitness evaluation (cover + Huffman
+// + size accounting).
+func BenchmarkFitness(b *testing.B) {
+	ts := benchTestSet(b, 0.3)
+	blocks := blockcode.Partition(ts, 12)
+	ms := blockcode.Dedup(blocks)
+	set := core.RandomMVSet(12, 64, 0.5, rand.New(rand.NewSource(9)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cov := set.CoverMultiset(ms)
+		code, err := huffman.Build(cov.Freqs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = set.CompressedBits(cov, code.Lengths)
+	}
+}
+
+// Benchmark9C measures baseline 9C compression throughput.
+func Benchmark9C(b *testing.B) {
+	ts := benchTestSet(b, 0.25)
+	b.SetBytes(int64(ts.TotalBits() / 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ninec.Compress(ts, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHuffmanBuild measures code construction at the paper's L=64.
+func BenchmarkHuffmanBuild(b *testing.B) {
+	r := rand.New(rand.NewSource(10))
+	freqs := make([]int, 64)
+	for i := range freqs {
+		freqs[i] = r.Intn(1000)
+	}
+	freqs[0] = 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := huffman.Build(freqs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

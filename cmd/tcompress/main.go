@@ -1,0 +1,159 @@
+// Command tcompress compresses a test-set file.
+//
+// Usage:
+//
+//	tcompress -in tests.txt -out tests.tcmp -method ea -k 12 -l 64
+//	tcompress -in tests.txt -method 9c -k 8 -stats
+//	tcompress -in tests.txt -method golomb        (rate report only)
+//
+// Methods: ea, 9c, 9chc (container output supported), golomb, fdr, rl,
+// selhuff (rate report only).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"repro/internal/blockcode"
+	"repro/internal/container"
+	"repro/internal/core"
+	"repro/internal/ea"
+	"repro/internal/fdr"
+	"repro/internal/golomb"
+	"repro/internal/ninec"
+	"repro/internal/runlength"
+	"repro/internal/selhuff"
+	"repro/internal/testset"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tcompress: ")
+	var (
+		in      = flag.String("in", "", "input test-set file (default stdin)")
+		out     = flag.String("out", "", "output container file (ea/9c/9chc only)")
+		method  = flag.String("method", "ea", "ea | 9c | 9chc | golomb | fdr | rl | selhuff")
+		k       = flag.Int("k", 12, "input block length K")
+		l       = flag.Int("l", 64, "number of matching vectors L (ea)")
+		runs    = flag.Int("runs", 5, "independent EA runs (ea)")
+		seed    = flag.Int64("seed", 1, "random seed")
+		gens    = flag.Int("gens", 2000, "EA generation cap")
+		noimp   = flag.Int("noimprove", 100, "EA no-improvement termination window")
+		subsume = flag.Bool("subsume", false, "apply subsumption post-pass (ea)")
+		stats   = flag.Bool("stats", false, "print test-set statistics")
+	)
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	ts, err := testset.ReadAuto(r)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *stats {
+		fmt.Println(ts.Summary())
+	}
+
+	var res *blockcode.Result
+	var cm container.Method
+	switch *method {
+	case "ea":
+		p := core.Params{
+			K: *k, L: *l,
+			EA:         ea.DefaultConfig(*seed),
+			ForceAllU:  true,
+			SubsumeOpt: *subsume,
+			Runs:       *runs,
+		}
+		p.EA.MaxGenerations = *gens
+		p.EA.MaxNoImprove = *noimp
+		eaRes, err := core.Compress(ts, p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("EA: average rate %.2f%%, best rate %.2f%% over %d runs\n",
+			eaRes.AverageRate, eaRes.BestRate, len(eaRes.Runs))
+		res, cm = eaRes.Final, container.MethodEA
+	case "9c":
+		res9, err := ninec.Compress(ts, *k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, cm = res9, container.Method9C
+	case "9chc":
+		res9, err := ninec.CompressHC(ts, *k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, cm = res9, container.Method9CHC
+	case "golomb":
+		g, err := golomb.CompressBest(ts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("golomb(M=%d): rate %.2f%% (%d -> %d bits)\n",
+			g.M, g.RatePercent(), g.OriginalBits, g.CompressedBits)
+		return
+	case "fdr":
+		fres, err := fdr.Compress(ts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("fdr: rate %.2f%% (%d -> %d bits)\n",
+			fres.RatePercent(), fres.OriginalBits, fres.CompressedBits)
+		return
+	case "rl":
+		rres, err := runlength.Compress(ts, 4)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("runlength(b=4): rate %.2f%% (%d -> %d bits)\n",
+			rres.RatePercent(), rres.OriginalBits, rres.CompressedBits)
+		return
+	case "selhuff":
+		sres, err := selhuff.Compress(ts, *k, 8)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("selhuff(K=%d,D=8): rate %.2f%% (%d -> %d bits)\n",
+			*k, sres.RatePercent(), sres.OriginalBits, sres.CompressedBits)
+		return
+	default:
+		log.Fatalf("unknown method %q", *method)
+	}
+
+	fmt.Printf("%s: rate %.2f%% (%d -> %d bits), %d MVs used, decoder codewords up to %d bits\n",
+		cm, res.RatePercent(), res.OriginalBits, res.CompressedBits,
+		res.Code.NumUsed(), maxLen(res.Code.Lengths))
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := container.Write(f, cm, ts.Width, ts.NumPatterns(), res); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+}
+
+func maxLen(lengths []int) int {
+	m := 0
+	for _, l := range lengths {
+		if l > m {
+			m = l
+		}
+	}
+	return m
+}

@@ -1,0 +1,100 @@
+// Command tdecompress expands a compressed container back into a fully
+// specified test-set file and optionally verifies it against the original.
+//
+// Usage:
+//
+//	tdecompress -in tests.tcmp -out expanded.txt [-verify tests.txt]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/blockcode"
+	"repro/internal/decoder"
+	"repro/internal/testset"
+	"repro/internal/tritvec"
+
+	"repro/internal/container"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tdecompress: ")
+	var (
+		in     = flag.String("in", "", "input container file")
+		out    = flag.String("out", "", "output test-set file (default stdout)")
+		verify = flag.String("verify", "", "original test-set file to verify against")
+		fsm    = flag.Bool("fsm", false, "decode through the hardware FSM model and report cycles")
+	)
+	flag.Parse()
+	if *in == "" {
+		log.Fatal("-in is required")
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	cf, err := container.Read(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var blocks []tritvec.Vector
+	if *fsm {
+		dec, err := decoder.New(cf.Set, cf.Code)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var st decoder.Stats
+		blocks, st, err = dec.Run(cf.Reader(), cf.NumBlocks())
+		if err != nil {
+			log.Fatal(err)
+		}
+		area := dec.Area()
+		fmt.Fprintf(os.Stderr, "fsm: %d blocks, %d input bits, %d cycles, %d states, %.0f GE\n",
+			st.Blocks, st.InputBits, st.Cycles, area.States, area.GateEquivalents)
+	} else {
+		blocks, err = blockcode.Decode(cf.Reader(), cf.Set, cf.Code, cf.NumBlocks())
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	flat := tritvec.Concat(blocks...).Slice(0, cf.Width*cf.Patterns)
+	ts, err := testset.FromFlat(flat, cf.Width)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *verify != "" {
+		vf, err := os.Open(*verify)
+		if err != nil {
+			log.Fatal(err)
+		}
+		orig, err := testset.Read(vf)
+		vf.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !orig.Compatible(ts) {
+			log.Fatal("verification FAILED: decoded data does not preserve the original's specified bits")
+		}
+		fmt.Fprintln(os.Stderr, "verification OK: all specified bits preserved")
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		w, err = os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer w.Close()
+	}
+	if err := ts.Write(w); err != nil {
+		log.Fatal(err)
+	}
+}

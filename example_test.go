@@ -1,0 +1,65 @@
+package tcomp_test
+
+import (
+	"fmt"
+	"log"
+
+	tcomp "repro"
+)
+
+// Example demonstrates the end-to-end API: compress a test set with don't-
+// cares using the 9C+HC baseline, decompress, and verify losslessness.
+func Example() {
+	ts, err := tcomp.ParseTestSet(
+		"11110000",
+		"1111XXXX",
+		"00000000",
+		"XXXX0000",
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := tcomp.Compress9CHC(ts, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d -> %d bits\n", res.OriginalBits, res.CompressedBits)
+	dec, err := tcomp.Decompress(res, ts.Width)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("lossless:", tcomp.VerifyLossless(ts, dec))
+	// Output:
+	// 32 -> 6 bits
+	// lossless: true
+}
+
+// ExampleCompressEA shows the paper's evolutionary compressor on a test
+// set whose blocks "almost match" — the case its arbitrary-U matching
+// vectors are built for.
+func ExampleCompressEA() {
+	ts, err := tcomp.ParseTestSet(
+		"110100", "110000", "110100", "110000",
+		"110100", "110000", "110100", "110001",
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p := tcomp.DefaultEAParams(7)
+	p.K, p.L = 6, 4
+	p.Runs = 2
+	p.EA.MaxGenerations = 200
+	p.EA.MaxNoImprove = 80
+	res, err := tcomp.CompressEA(ts, p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The EA finds an MV like 110U0U and encodes each 6-bit block in a
+	// codeword plus at most two fill bits.
+	fmt.Println("compressed below half:", res.Final.CompressedBits < res.Final.OriginalBits/2)
+	dec, _ := tcomp.Decompress(res.Final, ts.Width)
+	fmt.Println("lossless:", tcomp.VerifyLossless(ts, dec))
+	// Output:
+	// compressed below half: true
+	// lossless: true
+}

@@ -1,0 +1,73 @@
+// Codes comparison: one calibrated registry test set compressed with
+// every scheme in the library — the paper's methods (9C, 9C+HC, EA) plus
+// the run-length-family coders its related-work section cites (RL,
+// Golomb, FDR, selective Huffman).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/fdr"
+	"repro/internal/golomb"
+	"repro/internal/iscasgen"
+	"repro/internal/ninec"
+	"repro/internal/runlength"
+	"repro/internal/selhuff"
+)
+
+func main() {
+	m, err := iscasgen.Find("s641", iscasgen.StuckAt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ts, err := iscasgen.Generate(m, iscasgen.GenOptions{Seed: 11})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("test set: %s (%s), %d bits, %.1f%% specified (paper 9C rate: %.0f%%)\n\n",
+		m.Name, m.Kind, ts.TotalBits(), 100*ts.CareDensity(), m.Paper9C)
+
+	type entry struct {
+		name string
+		rate float64
+	}
+	var results []entry
+
+	if r, err := runlength.Compress(ts, 4); err == nil {
+		results = append(results, entry{"run-length (b=4)", r.RatePercent()})
+	}
+	if r, err := golomb.CompressBest(ts); err == nil {
+		results = append(results, entry{fmt.Sprintf("Golomb (M=%d)", r.M), r.RatePercent()})
+	}
+	if r, err := fdr.Compress(ts); err == nil {
+		results = append(results, entry{"FDR", r.RatePercent()})
+	}
+	if r, err := selhuff.Compress(ts, 8, 8); err == nil {
+		results = append(results, entry{"selective Huffman (K=8,D=8)", r.RatePercent()})
+	}
+	if r, err := ninec.Compress(ts, 8); err == nil {
+		results = append(results, entry{"9C (K=8)", r.RatePercent()})
+	}
+	if r, err := ninec.CompressHC(ts, 8); err == nil {
+		results = append(results, entry{"9C+HC (K=8)", r.RatePercent()})
+	}
+
+	p := core.DefaultParams(3)
+	p.Runs = 3
+	p.EA.MaxGenerations = 120
+	p.EA.MaxNoImprove = 40
+	r, err := core.Compress(ts, p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	results = append(results, entry{"EA (K=12,L=64, this paper)", r.AverageRate})
+	results = append(results, entry{"EA best-of-runs", r.BestRate})
+
+	fmt.Printf("%-30s %10s\n", "method", "rate")
+	fmt.Println("------------------------------------------")
+	for _, e := range results {
+		fmt.Printf("%-30s %9.1f%%\n", e.name, e.rate)
+	}
+}

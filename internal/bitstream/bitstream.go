@@ -1,0 +1,108 @@
+// Package bitstream provides MSB-first bit-level writers and readers for
+// compressed test data. Codewords are emitted most-significant-bit first so
+// that a prefix code can be decoded by walking bits in stream order.
+package bitstream
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrEOS is returned when reading past the end of the stream.
+var ErrEOS = errors.New("bitstream: end of stream")
+
+// Writer accumulates bits MSB-first into a byte buffer.
+type Writer struct {
+	buf  []byte
+	nbit int // total bits written
+}
+
+// NewWriter returns an empty Writer.
+func NewWriter() *Writer { return &Writer{} }
+
+// WriteBit appends a single bit (0 or 1).
+func (w *Writer) WriteBit(b uint) {
+	if w.nbit%8 == 0 {
+		w.buf = append(w.buf, 0)
+	}
+	if b != 0 {
+		w.buf[w.nbit/8] |= 0x80 >> uint(w.nbit%8)
+	}
+	w.nbit++
+}
+
+// WriteBits appends the low n bits of v, most significant first.
+func (w *Writer) WriteBits(v uint64, n int) {
+	if n < 0 || n > 64 {
+		panic(fmt.Sprintf("bitstream: WriteBits n=%d", n))
+	}
+	for i := n - 1; i >= 0; i-- {
+		w.WriteBit(uint(v >> uint(i) & 1))
+	}
+}
+
+// Len returns the number of bits written.
+func (w *Writer) Len() int { return w.nbit }
+
+// Bytes returns the accumulated buffer; the final byte is zero-padded.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// Reset truncates the writer to empty.
+func (w *Writer) Reset() {
+	w.buf = w.buf[:0]
+	w.nbit = 0
+}
+
+// Reader consumes bits MSB-first from a byte buffer.
+type Reader struct {
+	buf  []byte
+	nbit int // total valid bits
+	pos  int // next bit to read
+}
+
+// NewReader returns a Reader over buf exposing nbit valid bits. If nbit is
+// negative, all of buf (len*8 bits) is exposed.
+func NewReader(buf []byte, nbit int) *Reader {
+	if nbit < 0 {
+		nbit = len(buf) * 8
+	}
+	if nbit > len(buf)*8 {
+		panic("bitstream: nbit exceeds buffer")
+	}
+	return &Reader{buf: buf, nbit: nbit}
+}
+
+// FromWriter returns a Reader over the bits accumulated in w.
+func FromWriter(w *Writer) *Reader { return NewReader(w.Bytes(), w.Len()) }
+
+// ReadBit returns the next bit.
+func (r *Reader) ReadBit() (uint, error) {
+	if r.pos >= r.nbit {
+		return 0, ErrEOS
+	}
+	b := uint(r.buf[r.pos/8] >> uint(7-r.pos%8) & 1)
+	r.pos++
+	return b, nil
+}
+
+// ReadBits reads n bits MSB-first into the low bits of the result.
+func (r *Reader) ReadBits(n int) (uint64, error) {
+	if n < 0 || n > 64 {
+		panic(fmt.Sprintf("bitstream: ReadBits n=%d", n))
+	}
+	var v uint64
+	for i := 0; i < n; i++ {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		v = v<<1 | uint64(b)
+	}
+	return v, nil
+}
+
+// Remaining returns the number of unread bits.
+func (r *Reader) Remaining() int { return r.nbit - r.pos }
+
+// Pos returns the number of bits consumed so far.
+func (r *Reader) Pos() int { return r.pos }

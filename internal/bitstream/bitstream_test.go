@@ -1,0 +1,135 @@
+package bitstream
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteReadBits(t *testing.T) {
+	w := NewWriter()
+	w.WriteBit(1)
+	w.WriteBit(0)
+	w.WriteBits(0b1101, 4)
+	if w.Len() != 6 {
+		t.Fatalf("Len=%d want 6", w.Len())
+	}
+	r := FromWriter(w)
+	got, err := r.ReadBits(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0b101101 {
+		t.Fatalf("got %06b want 101101", got)
+	}
+	if r.Remaining() != 0 {
+		t.Fatalf("Remaining=%d", r.Remaining())
+	}
+	if _, err := r.ReadBit(); err != ErrEOS {
+		t.Fatalf("expected ErrEOS, got %v", err)
+	}
+}
+
+func TestWriterReset(t *testing.T) {
+	w := NewWriter()
+	w.WriteBits(0xFF, 8)
+	w.Reset()
+	if w.Len() != 0 {
+		t.Fatal("reset did not clear length")
+	}
+	w.WriteBit(0)
+	w.WriteBit(1)
+	r := FromWriter(w)
+	v, _ := r.ReadBits(2)
+	if v != 1 {
+		t.Fatalf("after reset got %b", v)
+	}
+}
+
+func TestMSBFirstByteLayout(t *testing.T) {
+	w := NewWriter()
+	w.WriteBits(0b10110011, 8)
+	if w.Bytes()[0] != 0b10110011 {
+		t.Fatalf("byte layout %08b", w.Bytes()[0])
+	}
+}
+
+func TestReaderPartialByte(t *testing.T) {
+	r := NewReader([]byte{0b10100000}, 3)
+	v, err := r.ReadBits(3)
+	if err != nil || v != 0b101 {
+		t.Fatalf("got %b err %v", v, err)
+	}
+	if _, err := r.ReadBit(); err != ErrEOS {
+		t.Fatal("expected EOS after 3 bits")
+	}
+}
+
+func TestReaderNegativeNBit(t *testing.T) {
+	r := NewReader([]byte{0xFF, 0x00}, -1)
+	if r.Remaining() != 16 {
+		t.Fatalf("Remaining=%d want 16", r.Remaining())
+	}
+}
+
+func TestPanics(t *testing.T) {
+	mustPanic := func(f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic")
+			}
+		}()
+		f()
+	}
+	mustPanic(func() { NewWriter().WriteBits(0, 65) })
+	mustPanic(func() { NewWriter().WriteBits(0, -1) })
+	mustPanic(func() { NewReader(nil, 1) })
+	mustPanic(func() { NewReader(nil, 0).ReadBits(65) })
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := r.Intn(50) + 1
+		type chunk struct {
+			v    uint64
+			bits int
+		}
+		chunks := make([]chunk, n)
+		w := NewWriter()
+		for i := range chunks {
+			bits := r.Intn(64) + 1
+			v := r.Uint64()
+			if bits < 64 {
+				v &= (1 << uint(bits)) - 1
+			}
+			chunks[i] = chunk{v, bits}
+			w.WriteBits(v, bits)
+		}
+		rd := FromWriter(w)
+		for _, c := range chunks {
+			got, err := rd.ReadBits(c.bits)
+			if err != nil || got != c.v {
+				return false
+			}
+		}
+		return rd.Remaining() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPosTracking(t *testing.T) {
+	w := NewWriter()
+	w.WriteBits(0b1010, 4)
+	r := FromWriter(w)
+	if r.Pos() != 0 {
+		t.Fatal("initial pos")
+	}
+	_, _ = r.ReadBits(3)
+	if r.Pos() != 3 || r.Remaining() != 1 {
+		t.Fatalf("pos=%d rem=%d", r.Pos(), r.Remaining())
+	}
+}

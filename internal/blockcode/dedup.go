@@ -1,0 +1,69 @@
+package blockcode
+
+import (
+	"strings"
+
+	"repro/internal/tritvec"
+)
+
+// BlockMultiset is a deduplicated block sequence: real test-set strings
+// repeat blocks heavily (sparse specified bits), so fitness evaluation over
+// unique blocks weighted by multiplicity is dramatically cheaper than over
+// the raw sequence while producing identical frequencies and sizes.
+type BlockMultiset struct {
+	Blocks []tritvec.Vector
+	Counts []int
+	Total  int // Σ Counts
+}
+
+func blockKey(v tritvec.Vector) string {
+	var sb strings.Builder
+	care, val := v.Words()
+	buf := make([]byte, 0, 16)
+	for i := range care {
+		for b := 0; b < 8; b++ {
+			buf = append(buf, byte(care[i]>>uint(8*b)), byte(val[i]>>uint(8*b)))
+		}
+	}
+	sb.Write(buf)
+	return sb.String()
+}
+
+// Dedup collapses equal blocks, preserving first-occurrence order.
+func Dedup(blocks []tritvec.Vector) *BlockMultiset {
+	ms := &BlockMultiset{Total: len(blocks)}
+	index := make(map[string]int, len(blocks))
+	for _, b := range blocks {
+		k := blockKey(b)
+		if i, ok := index[k]; ok {
+			ms.Counts[i]++
+			continue
+		}
+		index[k] = len(ms.Blocks)
+		ms.Blocks = append(ms.Blocks, b)
+		ms.Counts = append(ms.Counts, 1)
+	}
+	return ms
+}
+
+// CoverMultiset covers the unique blocks in min-U order; frequencies are
+// weighted by multiplicity so they equal those of covering the raw
+// sequence.
+func (s *MVSet) CoverMultiset(ms *BlockMultiset) *Covering {
+	order := s.orderMinU()
+	cov := &Covering{Assign: make([]int, len(ms.Blocks)), Freqs: make([]int, len(s.MVs))}
+	for b, blk := range ms.Blocks {
+		cov.Assign[b] = -1
+		for _, i := range order {
+			if s.MVs[i].Matches(blk) {
+				cov.Assign[b] = i
+				cov.Freqs[i] += ms.Counts[b]
+				break
+			}
+		}
+		if cov.Assign[b] == -1 {
+			cov.Uncovered += ms.Counts[b]
+		}
+	}
+	return cov
+}

@@ -1,0 +1,192 @@
+package circuit
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// ParseBench reads a netlist in the ISCAS .bench dialect:
+//
+//	# comment
+//	INPUT(G1)
+//	OUTPUT(G17)
+//	G10 = NAND(G1, G3)
+//	G11 = DFF(G10)
+//
+// DFF gates are extracted into the combinational part: the flip-flop
+// output becomes a pseudo primary input and the flip-flop data signal a
+// pseudo primary output.
+func ParseBench(name string, r io.Reader) (*Circuit, error) {
+	b := NewBuilder(name)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<22)
+	lineNo := 0
+	var ppoSignals []string
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		up := strings.ToUpper(line)
+		switch {
+		case strings.HasPrefix(up, "INPUT"):
+			arg, err := parenArg(line)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %v", lineNo, err)
+			}
+			b.AddInput(arg)
+		case strings.HasPrefix(up, "OUTPUT"):
+			arg, err := parenArg(line)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %v", lineNo, err)
+			}
+			b.AddOutput(arg)
+		default:
+			eq := strings.Index(line, "=")
+			if eq < 0 {
+				return nil, fmt.Errorf("line %d: expected assignment, got %q", lineNo, line)
+			}
+			lhs := strings.TrimSpace(line[:eq])
+			rhs := strings.TrimSpace(line[eq+1:])
+			open := strings.Index(rhs, "(")
+			close := strings.LastIndex(rhs, ")")
+			if open < 0 || close < open {
+				return nil, fmt.Errorf("line %d: malformed gate %q", lineNo, line)
+			}
+			fn := strings.ToUpper(strings.TrimSpace(rhs[:open]))
+			var fanin []string
+			for _, f := range strings.Split(rhs[open+1:close], ",") {
+				f = strings.TrimSpace(f)
+				if f != "" {
+					fanin = append(fanin, f)
+				}
+			}
+			if fn == "DFF" {
+				if len(fanin) != 1 {
+					return nil, fmt.Errorf("line %d: DFF needs 1 fanin", lineNo)
+				}
+				b.AddInput(lhs) // FF output -> pseudo primary input
+				ppoSignals = append(ppoSignals, fanin[0])
+				continue
+			}
+			t, ok := parseGateType(fn)
+			if !ok {
+				return nil, fmt.Errorf("line %d: unknown gate type %q", lineNo, fn)
+			}
+			if (t == Buf || t == Not) && len(fanin) != 1 {
+				return nil, fmt.Errorf("line %d: %s needs 1 fanin", lineNo, fn)
+			}
+			// Single-input AND/OR in some bench files act as buffers.
+			if len(fanin) == 1 && (t == And || t == Or) {
+				t = Buf
+			}
+			if len(fanin) == 1 && (t == Nand || t == Nor) {
+				t = Not
+			}
+			if _, err := b.AddGate(lhs, t, fanin...); err != nil {
+				return nil, fmt.Errorf("line %d: %v", lineNo, err)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for _, s := range ppoSignals {
+		b.AddOutput(s)
+	}
+	return b.Finalize()
+}
+
+func parseGateType(fn string) (GateType, bool) {
+	switch fn {
+	case "BUF", "BUFF":
+		return Buf, true
+	case "NOT", "INV":
+		return Not, true
+	case "AND":
+		return And, true
+	case "NAND":
+		return Nand, true
+	case "OR":
+		return Or, true
+	case "NOR":
+		return Nor, true
+	case "XOR":
+		return Xor, true
+	case "XNOR":
+		return Xnor, true
+	}
+	return Input, false
+}
+
+func parenArg(line string) (string, error) {
+	open := strings.Index(line, "(")
+	close := strings.LastIndex(line, ")")
+	if open < 0 || close < open {
+		return "", fmt.Errorf("malformed declaration %q", line)
+	}
+	arg := strings.TrimSpace(line[open+1 : close])
+	if arg == "" {
+		return "", fmt.Errorf("empty name in %q", line)
+	}
+	return arg, nil
+}
+
+// WriteBench serializes the circuit in .bench format (pseudo inputs and
+// outputs are emitted as plain INPUT/OUTPUT declarations).
+func (c *Circuit) WriteBench(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# %s\n", c.Name)
+	for _, id := range c.Inputs {
+		fmt.Fprintf(bw, "INPUT(%s)\n", c.Names[id])
+	}
+	for _, id := range c.Outputs {
+		fmt.Fprintf(bw, "OUTPUT(%s)\n", c.Names[id])
+	}
+	ids := make([]int, 0, c.NumSignals())
+	for id, t := range c.Types {
+		if t != Input {
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		names := make([]string, len(c.Fanin[id]))
+		for i, f := range c.Fanin[id] {
+			names[i] = c.Names[f]
+		}
+		fmt.Fprintf(bw, "%s = %s(%s)\n", c.Names[id], c.Types[id], strings.Join(names, ", "))
+	}
+	return bw.Flush()
+}
+
+// C17 returns the ISCAS-85 c17 benchmark circuit (the classic 6-NAND
+// example), built from its well-known netlist.
+func C17() *Circuit {
+	b := NewBuilder("c17")
+	for _, in := range []string{"G1", "G2", "G3", "G6", "G7"} {
+		b.AddInput(in)
+	}
+	b.AddOutput("G22")
+	b.AddOutput("G23")
+	mustGate := func(name string, t GateType, fanin ...string) {
+		if _, err := b.AddGate(name, t, fanin...); err != nil {
+			panic(err)
+		}
+	}
+	mustGate("G10", Nand, "G1", "G3")
+	mustGate("G11", Nand, "G3", "G6")
+	mustGate("G16", Nand, "G2", "G11")
+	mustGate("G19", Nand, "G11", "G7")
+	mustGate("G22", Nand, "G10", "G16")
+	mustGate("G23", Nand, "G16", "G19")
+	c, err := b.Finalize()
+	if err != nil {
+		panic(err)
+	}
+	return c
+}

@@ -1,0 +1,234 @@
+// Package container defines the on-disk format for compressed test data:
+// a self-describing header (method, block length, test-set dimensions,
+// matching-vector table, codeword lengths) followed by the encoded
+// bitstream. The format is what a tester would ship together with the
+// decoder configuration.
+//
+// Layout (big-endian):
+//
+//	magic   [4]byte  "TCMP"
+//	version uint8    (1)
+//	method  uint8    (Method)
+//	k       uint16   block length
+//	width   uint32   circuit inputs
+//	tCount  uint32   pattern count
+//	nMVs    uint16   matching vector count
+//	per MV: k trits packed 2 bits each (00=U, 01=0, 10=1), byte-padded
+//	per MV: codeword length uint8, codeword bits uint64
+//	nbits   uint32   payload bit count
+//	payload ceil(nbits/8) bytes
+package container
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/bitstream"
+	"repro/internal/blockcode"
+	"repro/internal/huffman"
+	"repro/internal/tritvec"
+)
+
+// Method identifies the compression scheme.
+type Method uint8
+
+// Known methods.
+const (
+	MethodEA Method = iota + 1
+	Method9C
+	Method9CHC
+)
+
+// String names the method.
+func (m Method) String() string {
+	switch m {
+	case MethodEA:
+		return "ea"
+	case Method9C:
+		return "9c"
+	case Method9CHC:
+		return "9c+hc"
+	}
+	return fmt.Sprintf("method(%d)", uint8(m))
+}
+
+// ParseMethod converts a CLI name to a Method.
+func ParseMethod(s string) (Method, error) {
+	switch s {
+	case "ea":
+		return MethodEA, nil
+	case "9c":
+		return Method9C, nil
+	case "9chc", "9c+hc":
+		return Method9CHC, nil
+	}
+	return 0, fmt.Errorf("container: unknown method %q", s)
+}
+
+var magic = [4]byte{'T', 'C', 'M', 'P'}
+
+// File is a parsed compressed container.
+type File struct {
+	Method   Method
+	K        int
+	Width    int
+	Patterns int
+	Set      *blockcode.MVSet
+	Code     *huffman.Code
+	Payload  []byte
+	NBits    int
+}
+
+// Write serializes a compression result.
+func Write(w io.Writer, method Method, width, patterns int, res *blockcode.Result) error {
+	if res.Stream == nil {
+		return fmt.Errorf("container: result has no encoded stream")
+	}
+	if len(res.Set.MVs) > 0xFFFF || res.Set.K > 0xFFFF {
+		return fmt.Errorf("container: dimensions exceed format limits")
+	}
+	if _, err := w.Write(magic[:]); err != nil {
+		return err
+	}
+	hdr := []interface{}{
+		uint8(1), uint8(method), uint16(res.Set.K), uint32(width), uint32(patterns),
+		uint16(len(res.Set.MVs)),
+	}
+	for _, v := range hdr {
+		if err := binary.Write(w, binary.BigEndian, v); err != nil {
+			return err
+		}
+	}
+	for _, mv := range res.Set.MVs {
+		if err := writeMV(w, mv); err != nil {
+			return err
+		}
+	}
+	for i := range res.Set.MVs {
+		if err := binary.Write(w, binary.BigEndian, uint8(res.Code.Lengths[i])); err != nil {
+			return err
+		}
+		if err := binary.Write(w, binary.BigEndian, res.Code.Words[i]); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(w, binary.BigEndian, uint32(res.Stream.Len())); err != nil {
+		return err
+	}
+	_, err := w.Write(res.Stream.Bytes())
+	return err
+}
+
+func writeMV(w io.Writer, mv tritvec.Vector) error {
+	k := mv.Len()
+	buf := make([]byte, (2*k+7)/8)
+	for i := 0; i < k; i++ {
+		var code byte
+		switch mv.Get(i) {
+		case tritvec.Zero:
+			code = 1
+		case tritvec.One:
+			code = 2
+		}
+		bit := 2 * i
+		buf[bit/8] |= code << uint(6-bit%8)
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+func readMV(r io.Reader, k int) (tritvec.Vector, error) {
+	buf := make([]byte, (2*k+7)/8)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return tritvec.Vector{}, err
+	}
+	mv := tritvec.New(k)
+	for i := 0; i < k; i++ {
+		bit := 2 * i
+		code := buf[bit/8] >> uint(6-bit%8) & 3
+		switch code {
+		case 1:
+			mv.Set(i, tritvec.Zero)
+		case 2:
+			mv.Set(i, tritvec.One)
+		case 0:
+			// U
+		default:
+			return tritvec.Vector{}, fmt.Errorf("container: invalid trit code %d", code)
+		}
+	}
+	return mv, nil
+}
+
+// Read parses a container.
+func Read(r io.Reader) (*File, error) {
+	var m [4]byte
+	if _, err := io.ReadFull(r, m[:]); err != nil {
+		return nil, err
+	}
+	if m != magic {
+		return nil, fmt.Errorf("container: bad magic %q", m)
+	}
+	var version, method uint8
+	var k, nMVs uint16
+	var width, patterns uint32
+	for _, v := range []interface{}{&version, &method, &k, &width, &patterns, &nMVs} {
+		if err := binary.Read(r, binary.BigEndian, v); err != nil {
+			return nil, err
+		}
+	}
+	if version != 1 {
+		return nil, fmt.Errorf("container: unsupported version %d", version)
+	}
+	f := &File{Method: Method(method), K: int(k), Width: int(width), Patterns: int(patterns)}
+	mvs := make([]tritvec.Vector, nMVs)
+	for i := range mvs {
+		mv, err := readMV(r, f.K)
+		if err != nil {
+			return nil, err
+		}
+		mvs[i] = mv
+	}
+	set, err := blockcode.NewMVSet(f.K, mvs)
+	if err != nil {
+		return nil, err
+	}
+	f.Set = set
+	lengths := make([]int, nMVs)
+	words := make([]uint64, nMVs)
+	for i := range lengths {
+		var l uint8
+		if err := binary.Read(r, binary.BigEndian, &l); err != nil {
+			return nil, err
+		}
+		if err := binary.Read(r, binary.BigEndian, &words[i]); err != nil {
+			return nil, err
+		}
+		lengths[i] = int(l)
+	}
+	code := &huffman.Code{Lengths: lengths, Words: words}
+	if !code.IsPrefixFree() {
+		return nil, fmt.Errorf("container: stored code is not prefix-free")
+	}
+	f.Code = code
+	var nbits uint32
+	if err := binary.Read(r, binary.BigEndian, &nbits); err != nil {
+		return nil, err
+	}
+	f.NBits = int(nbits)
+	f.Payload = make([]byte, (f.NBits+7)/8)
+	if _, err := io.ReadFull(r, f.Payload); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// Reader returns a bitstream reader over the payload.
+func (f *File) Reader() *bitstream.Reader { return bitstream.NewReader(f.Payload, f.NBits) }
+
+// NumBlocks returns the input-block count implied by the dimensions.
+func (f *File) NumBlocks() int {
+	total := f.Width * f.Patterns
+	return (total + f.K - 1) / f.K
+}

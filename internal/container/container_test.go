@@ -1,0 +1,123 @@
+package container
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/blockcode"
+	"repro/internal/ninec"
+	"repro/internal/testset"
+)
+
+func sample(t *testing.T, seed int64) (*testset.TestSet, *blockcode.Result) {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	ts := testset.Random(16, 30, 0.3, r)
+	res, err := ninec.CompressHC(ts, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ts, res
+}
+
+func TestRoundTrip(t *testing.T) {
+	ts, res := sample(t, 1)
+	var buf bytes.Buffer
+	if err := Write(&buf, Method9CHC, ts.Width, ts.NumPatterns(), res); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Method != Method9CHC || f.K != 8 || f.Width != 16 || f.Patterns != 30 {
+		t.Fatalf("header mismatch: %+v", f)
+	}
+	if f.NBits != res.Stream.Len() {
+		t.Fatalf("payload bits %d want %d", f.NBits, res.Stream.Len())
+	}
+	// MVs preserved exactly.
+	for i, mv := range res.Set.MVs {
+		if !mv.Equal(f.Set.MVs[i]) {
+			t.Fatalf("MV %d changed: %s vs %s", i, mv.StringU(), f.Set.MVs[i].StringU())
+		}
+	}
+	// Decoding through the container must reproduce the test set.
+	blocks := blockcode.Partition(ts, f.K)
+	dec, err := blockcode.Decode(f.Reader(), f.Set, f.Code, f.NumBlocks())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := blockcode.Verify(blocks, dec); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNumBlocksPadding(t *testing.T) {
+	ts, res := sample(t, 2)
+	var buf bytes.Buffer
+	if err := Write(&buf, Method9C, ts.Width, ts.NumPatterns(), res); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumBlocks() != len(blockcode.Partition(ts, 8)) {
+		t.Fatal("NumBlocks disagrees with Partition")
+	}
+}
+
+func TestBadMagicAndTruncation(t *testing.T) {
+	ts, res := sample(t, 3)
+	var buf bytes.Buffer
+	if err := Write(&buf, MethodEA, ts.Width, ts.NumPatterns(), res); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	bad := append([]byte("XXXX"), raw[4:]...)
+	if _, err := Read(bytes.NewReader(bad)); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	for _, cut := range []int{3, 10, len(raw) / 2, len(raw) - 1} {
+		if _, err := Read(bytes.NewReader(raw[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	// Corrupt version byte.
+	corrupt := append([]byte(nil), raw...)
+	corrupt[4] = 9
+	if _, err := Read(bytes.NewReader(corrupt)); err == nil {
+		t.Fatal("bad version accepted")
+	}
+}
+
+func TestWriteWithoutStream(t *testing.T) {
+	_, res := sample(t, 4)
+	res.Stream = nil
+	var buf bytes.Buffer
+	if err := Write(&buf, MethodEA, 16, 30, res); err == nil {
+		t.Fatal("missing stream accepted")
+	}
+}
+
+func TestParseMethod(t *testing.T) {
+	for _, c := range []struct {
+		s  string
+		m  Method
+		ok bool
+	}{
+		{"ea", MethodEA, true}, {"9c", Method9C, true},
+		{"9chc", Method9CHC, true}, {"9c+hc", Method9CHC, true},
+		{"lzw", 0, false},
+	} {
+		m, err := ParseMethod(c.s)
+		if (err == nil) != c.ok || (err == nil && m != c.m) {
+			t.Errorf("ParseMethod(%q) = %v, %v", c.s, m, err)
+		}
+	}
+	if MethodEA.String() != "ea" || Method(77).String() == "" {
+		t.Fatal("Method.String broken")
+	}
+}

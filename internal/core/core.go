@@ -1,0 +1,305 @@
+// Package core implements the paper's primary contribution: determining a
+// set of L matching vectors of length K by evolutionary optimization
+// (Section 3), covering the input blocks with them (Section 3.2) and
+// Huffman-encoding the result (Section 3.3).
+//
+// An EA individual is a string of K·L genes over {0,1,U}; its fitness is
+// the compression rate achieved by the corresponding MV set. One MV is
+// pinned to all-U so no instance is unsolvable, exactly as in the paper.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/blockcode"
+	"repro/internal/ea"
+	"repro/internal/huffman"
+	"repro/internal/mvheur"
+	"repro/internal/ninec"
+	"repro/internal/testset"
+	"repro/internal/tritvec"
+)
+
+// Params configures the EA compressor.
+type Params struct {
+	K int // input block length (paper default 12)
+	L int // number of matching vectors (paper default 64)
+
+	EA ea.Config
+
+	// ForceAllU pins one MV to all-U so covering never fails (paper:
+	// "One of the MVs was set to all-U, such that there were no
+	// insolvable instances").
+	ForceAllU bool
+	// SubsumeOpt applies the Section 3.3 subsumption post-pass to the
+	// final covering (an explicit improvement the paper identifies but
+	// does not implement).
+	SubsumeOpt bool
+	// SeedNineC injects the 9C matching-vector set into the initial
+	// population (the paper suggests this would rule out losing to 9C;
+	// requires even K).
+	SeedNineC bool
+	// SeedGreedy injects the mvheur greedy MV set into the initial
+	// population, guaranteeing the EA is at least as good as the
+	// heuristic under elitism.
+	SeedGreedy bool
+	// Runs is the number of independent EA runs; the paper reports the
+	// average over 5 runs and also best-of.
+	Runs int
+}
+
+// DefaultParams returns the paper's default configuration for Table 1:
+// L=64, K=12, S=10, C=5, pc=30%, pm=30%, pi=10%, 5 runs, all-U pinned.
+func DefaultParams(seed int64) Params {
+	return Params{
+		K:         12,
+		L:         64,
+		EA:        ea.DefaultConfig(seed),
+		ForceAllU: true,
+		Runs:      5,
+	}
+}
+
+// Validate reports parameter errors.
+func (p Params) Validate() error {
+	if p.K <= 0 {
+		return fmt.Errorf("core: K must be positive, got %d", p.K)
+	}
+	if p.L <= 0 {
+		return fmt.Errorf("core: L must be positive, got %d", p.L)
+	}
+	if p.Runs <= 0 {
+		return fmt.Errorf("core: Runs must be positive, got %d", p.Runs)
+	}
+	if p.SeedNineC && p.K%2 != 0 {
+		return fmt.Errorf("core: SeedNineC requires even K")
+	}
+	return p.EA.Validate()
+}
+
+// geneToTrit maps an EA gene to a matching-vector trit. Genes use the
+// tritvec encoding directly: 0=U(X), 1=0, 2=1.
+func geneToTrit(g ea.Gene) tritvec.Trit { return tritvec.Trit(g % 3) }
+
+// GenesToMVs decodes a genome of K·L genes into L matching vectors.
+func GenesToMVs(genes []ea.Gene, k, l int) []tritvec.Vector {
+	mvs := make([]tritvec.Vector, l)
+	for i := 0; i < l; i++ {
+		v := tritvec.New(k)
+		for j := 0; j < k; j++ {
+			v.Set(j, geneToTrit(genes[i*k+j]))
+		}
+		mvs[i] = v
+	}
+	return mvs
+}
+
+// MVsToGenes is the inverse of GenesToMVs.
+func MVsToGenes(mvs []tritvec.Vector, k int) []ea.Gene {
+	genes := make([]ea.Gene, 0, len(mvs)*k)
+	for _, v := range mvs {
+		for j := 0; j < k; j++ {
+			genes = append(genes, ea.Gene(v.Get(j)))
+		}
+	}
+	return genes
+}
+
+// problem adapts MV determination to the ea.Problem interface.
+type problem struct {
+	k, l      int
+	ms        *blockcode.BlockMultiset
+	origBits  int
+	forceAllU bool
+}
+
+// invalidFitness is "a sufficiently small number, such that it is lower
+// than the fitness of an individual leading to a valid solution" — any
+// valid compression rate is > -100·K (even pure expansion is bounded by
+// the all-U encoding).
+const invalidFitness = -1e9
+
+func (p *problem) GenomeLen() int { return p.k * p.l }
+func (p *problem) Alphabet() int  { return 3 }
+
+func (p *problem) Repair(genes []ea.Gene) {
+	if !p.forceAllU {
+		return
+	}
+	// Pin the last MV's genes to U (gene value 0 == tritvec.X).
+	for j := (p.l - 1) * p.k; j < p.l*p.k; j++ {
+		genes[j] = 0
+	}
+}
+
+func (p *problem) Fitness(genes []ea.Gene) float64 {
+	mvs := GenesToMVs(genes, p.k, p.l)
+	set := &blockcode.MVSet{K: p.k, MVs: mvs}
+	cov := set.CoverMultiset(p.ms)
+	if !cov.OK() {
+		return invalidFitness
+	}
+	code, err := huffman.Build(cov.Freqs)
+	if err != nil {
+		return invalidFitness
+	}
+	compressed := set.CompressedBits(cov, code.Lengths)
+	return blockcode.Rate(p.origBits, compressed)
+}
+
+// RunOutcome describes one EA run.
+type RunOutcome struct {
+	Seed        int64
+	Rate        float64
+	Generations int
+	Evals       int
+	History     []ea.GenStats
+}
+
+// Result is the full outcome of Compress.
+type Result struct {
+	Params Params
+	// Final is the encoded result built from the best run's MV set
+	// (including the subsumption pass when enabled).
+	Final *blockcode.Result
+	// Runs holds per-run outcomes; AverageRate is their mean (the
+	// paper's 'EA' columns), BestRate the maximum.
+	Runs        []RunOutcome
+	AverageRate float64
+	BestRate    float64
+}
+
+// Compress runs the EA compressor on ts.
+func Compress(ts *testset.TestSet, p Params) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	blocks := blockcode.Partition(ts, p.K)
+	ms := blockcode.Dedup(blocks)
+	prob := &problem{k: p.K, l: p.L, ms: ms, origBits: ts.TotalBits(), forceAllU: p.ForceAllU}
+
+	var seeds [][]ea.Gene
+	padToL := func(mvs []tritvec.Vector) []ea.Gene {
+		mvs = append([]tritvec.Vector(nil), mvs...)
+		for len(mvs) < p.L {
+			mvs = append(mvs, tritvec.New(p.K))
+		}
+		return MVsToGenes(mvs[:p.L], p.K)
+	}
+	if p.SeedNineC {
+		nine, err := ninec.MVs(p.K)
+		if err != nil {
+			return nil, err
+		}
+		seeds = append(seeds, padToL(nine.MVs))
+	}
+	if p.SeedGreedy {
+		g := mvheur.Greedy(blocks, p.K, p.L, mvheur.DefaultOptions())
+		seeds = append(seeds, padToL(g.MVs))
+	}
+
+	res := &Result{Params: p}
+	var bestGenes []ea.Gene
+	best := invalidFitness
+	for run := 0; run < p.Runs; run++ {
+		cfg := p.EA
+		cfg.Seed = p.EA.Seed + int64(run)*7919
+		out, err := ea.Run(cfg, prob, seeds...)
+		if err != nil {
+			return nil, err
+		}
+		res.Runs = append(res.Runs, RunOutcome{
+			Seed:        cfg.Seed,
+			Rate:        out.Best.Fitness,
+			Generations: out.Generations,
+			Evals:       out.Evals,
+			History:     out.History,
+		})
+		res.AverageRate += out.Best.Fitness
+		if out.Best.Fitness > best {
+			best = out.Best.Fitness
+			bestGenes = out.Best.Genes
+		}
+	}
+	res.AverageRate /= float64(p.Runs)
+	res.BestRate = best
+
+	if bestGenes == nil || best <= invalidFitness {
+		return nil, fmt.Errorf("core: no valid MV set found (enable ForceAllU)")
+	}
+
+	set := &blockcode.MVSet{K: p.K, MVs: GenesToMVs(bestGenes, p.K, p.L)}
+	var final *blockcode.Result
+	var err error
+	if p.SubsumeOpt {
+		final, err = set.BuildHuffmanOpt(blocks, ts.TotalBits())
+	} else {
+		final, err = set.BuildHuffman(blocks, ts.TotalBits())
+	}
+	if err != nil {
+		return nil, err
+	}
+	if _, err := blockcode.Encode(blocks, final); err != nil {
+		return nil, err
+	}
+	res.Final = final
+	if p.SubsumeOpt && final.RatePercent() > res.BestRate {
+		res.BestRate = final.RatePercent()
+	}
+	return res, nil
+}
+
+// SweepPoint is one (K, L) configuration's outcome.
+type SweepPoint struct {
+	K, L int
+	Rate float64 // best rate across the runs at this configuration
+}
+
+// Sweep evaluates the compressor across (K, L) configurations and returns
+// all points plus the best ("EA-Best" column: "We generated data for
+// numerous values of K and L … we report our best results").
+func Sweep(ts *testset.TestSet, base Params, ks, ls []int) ([]SweepPoint, SweepPoint, error) {
+	var points []SweepPoint
+	best := SweepPoint{Rate: invalidFitness}
+	for _, k := range ks {
+		for _, l := range ls {
+			p := base
+			p.K, p.L = k, l
+			if p.SeedNineC && k%2 != 0 {
+				p.SeedNineC = false
+			}
+			r, err := Compress(ts, p)
+			if err != nil {
+				return nil, SweepPoint{}, fmt.Errorf("core: sweep K=%d L=%d: %v", k, l, err)
+			}
+			pt := SweepPoint{K: k, L: l, Rate: r.BestRate}
+			points = append(points, pt)
+			if pt.Rate > best.Rate {
+				best = pt
+			}
+		}
+	}
+	return points, best, nil
+}
+
+// RandomMVSet returns L random matching vectors of length K with the given
+// U bias — a baseline for EA effectiveness tests.
+func RandomMVSet(k, l int, pU float64, r *rand.Rand) *blockcode.MVSet {
+	mvs := make([]tritvec.Vector, l)
+	for i := range mvs {
+		v := tritvec.New(k)
+		for j := 0; j < k; j++ {
+			if r.Float64() < pU {
+				v.Set(j, tritvec.X)
+			} else if r.Intn(2) == 0 {
+				v.Set(j, tritvec.Zero)
+			} else {
+				v.Set(j, tritvec.One)
+			}
+		}
+		mvs[i] = v
+	}
+	mvs[l-1] = tritvec.New(k)
+	return &blockcode.MVSet{K: k, MVs: mvs}
+}

@@ -1,0 +1,72 @@
+package decoder
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteVerilogStructure(t *testing.T) {
+	res, _ := compressed(t, 11)
+	fsm, err := New(res.Set, res.Code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := fsm.WriteVerilog(&buf, "tcomp_decoder"); err != nil {
+		t.Fatal(err)
+	}
+	v := buf.String()
+	for _, want := range []string{
+		"module tcomp_decoder",
+		"endmodule",
+		"input  wire        clk",
+		"output reg         valid",
+		"case ({state, bit_in})",
+		"mv_bits",
+		"always @(posedge clk)",
+	} {
+		if !strings.Contains(v, want) {
+			t.Errorf("verilog output missing %q", want)
+		}
+	}
+	// One trie case line per edge.
+	edgeLines := strings.Count(v, "1'b0}:") + strings.Count(v, "1'b1}:")
+	if edgeLines < res.Code.NumUsed() {
+		t.Fatalf("too few trie transitions: %d", edgeLines)
+	}
+	// Balanced begin/end pairs is too strict for generated RTL; at least
+	// check module boundaries are single.
+	if strings.Count(v, "module ") != 1 || strings.Count(v, "endmodule") != 1 {
+		t.Fatal("module structure broken")
+	}
+}
+
+func TestWriteVerilogAllMVsPresent(t *testing.T) {
+	res, _ := compressed(t, 12)
+	fsm, err := New(res.Set, res.Code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := fsm.WriteVerilog(&buf, "dec"); err != nil {
+		t.Fatal(err)
+	}
+	// Every MV index must appear in the ROM case statement.
+	v := buf.String()
+	if strings.Count(v, "mv_bits = ") < len(res.Set.MVs) {
+		t.Fatalf("MV ROM rows missing: %d < %d",
+			strings.Count(v, "mv_bits = "), len(res.Set.MVs))
+	}
+}
+
+func TestBitsFor(t *testing.T) {
+	cases := []struct{ n, want int }{
+		{0, 1}, {1, 1}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {8, 3}, {9, 4}, {1024, 10},
+	}
+	for _, c := range cases {
+		if got := bitsFor(c.n); got != c.want {
+			t.Errorf("bitsFor(%d)=%d want %d", c.n, got, c.want)
+		}
+	}
+}

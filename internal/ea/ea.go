@@ -1,0 +1,356 @@
+// Package ea implements the evolutionary algorithm of Figure 1 of the
+// paper (the role played there by the GAME package): a population of S
+// individuals, C children per generation produced by crossover, mutation
+// and inversion, truncation selection of the best S out of S+C, and
+// termination on a fitness-stagnation window or an evaluation budget.
+//
+// The engine is problem-agnostic: individuals are genomes over a small
+// integer alphabet and fitness is supplied by the caller. Fitness
+// evaluations of a generation's children run in parallel.
+package ea
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+)
+
+// Gene is one genome symbol; the paper's alphabet is {0, 1, U}.
+type Gene = uint8
+
+// Problem defines the optimization instance.
+type Problem interface {
+	// GenomeLen returns the genome length (K·L in the paper).
+	GenomeLen() int
+	// Alphabet returns the number of gene values; genes take values
+	// 0..Alphabet()-1.
+	Alphabet() int
+	// Fitness evaluates a genome; higher is better. Must be safe for
+	// concurrent calls.
+	Fitness(genes []Gene) float64
+	// Repair normalizes a genome in place after random init or an
+	// operator application (e.g. re-pinning the all-U matching vector).
+	// May be a no-op.
+	Repair(genes []Gene)
+}
+
+// CrossoverKind selects the recombination style.
+type CrossoverKind int
+
+const (
+	// UniformCrossover swaps each gene between the two children
+	// independently with probability 1/2 ("genes of one parent in several
+	// positions and the genes of the other parent in others").
+	UniformCrossover CrossoverKind = iota
+	// TwoPointCrossover exchanges the gene segment between two random cut
+	// points.
+	TwoPointCrossover
+)
+
+// Config holds the EA parameters. The zero value is not usable; call
+// DefaultConfig for the paper's defaults.
+type Config struct {
+	PopSize   int     // S: population size
+	Children  int     // C: children per generation
+	PCross    float64 // probability a child pair is produced by crossover
+	PMut      float64 // probability a child is produced by mutation
+	PInv      float64 // probability a child is produced by inversion
+	Crossover CrossoverKind
+
+	// MaxNoImprove terminates after this many consecutive generations
+	// without a best-fitness improvement (paper: 500 for Table 2).
+	MaxNoImprove int
+	// MaxGenerations is a hard cap on generations (0 = unlimited).
+	MaxGenerations int
+	// MaxEvals bounds the number of fitness evaluations, the paper's
+	// "limit on the number of generated legal solutions" (0 = unlimited).
+	MaxEvals int
+
+	Seed    int64
+	Workers int // parallel fitness evaluations; 0 = GOMAXPROCS-sized default
+}
+
+// DefaultConfig returns the parameters reported in Section 4: S=10, C=5,
+// crossover 30%, mutation 30%, inversion 10%.
+func DefaultConfig(seed int64) Config {
+	return Config{
+		PopSize:        10,
+		Children:       5,
+		PCross:         0.30,
+		PMut:           0.30,
+		PInv:           0.10,
+		Crossover:      UniformCrossover,
+		MaxNoImprove:   100,
+		MaxGenerations: 5000,
+		MaxEvals:       0,
+		Seed:           seed,
+		Workers:        0,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.PopSize < 2 {
+		return fmt.Errorf("ea: PopSize must be >= 2, got %d", c.PopSize)
+	}
+	if c.Children < 1 {
+		return fmt.Errorf("ea: Children must be >= 1, got %d", c.Children)
+	}
+	for _, p := range []float64{c.PCross, c.PMut, c.PInv} {
+		if p < 0 || p > 1 {
+			return fmt.Errorf("ea: operator probability out of [0,1]")
+		}
+	}
+	if c.PCross+c.PMut+c.PInv <= 0 {
+		return fmt.Errorf("ea: all operator probabilities are zero")
+	}
+	if c.MaxNoImprove <= 0 && c.MaxGenerations <= 0 && c.MaxEvals <= 0 {
+		return fmt.Errorf("ea: no termination condition configured")
+	}
+	return nil
+}
+
+// Individual pairs a genome with its fitness.
+type Individual struct {
+	Genes   []Gene
+	Fitness float64
+}
+
+func (ind Individual) clone() Individual {
+	return Individual{Genes: append([]Gene(nil), ind.Genes...), Fitness: ind.Fitness}
+}
+
+// GenStats records one generation for convergence analysis (the data behind
+// Figure 1's loop).
+type GenStats struct {
+	Generation int
+	Best       float64
+	Mean       float64
+	Evals      int // cumulative fitness evaluations
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	Best        Individual
+	Generations int
+	Evals       int
+	History     []GenStats
+}
+
+// Run executes the EA on problem with config cfg. Deterministic given
+// cfg.Seed (parallel evaluation does not perturb the evolution order).
+func Run(cfg Config, problem Problem, seedIndividuals ...[]Gene) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := problem.GenomeLen()
+	alpha := problem.Alphabet()
+	if n <= 0 || alpha < 2 {
+		return nil, fmt.Errorf("ea: degenerate problem (len=%d alphabet=%d)", n, alpha)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	pop := make([]Individual, 0, cfg.PopSize+cfg.Children)
+	for _, s := range seedIndividuals {
+		if len(s) != n {
+			return nil, fmt.Errorf("ea: seed individual has length %d, want %d", len(s), n)
+		}
+		g := append([]Gene(nil), s...)
+		problem.Repair(g)
+		pop = append(pop, Individual{Genes: g})
+	}
+	for len(pop) < cfg.PopSize {
+		g := make([]Gene, n)
+		for i := range g {
+			g[i] = Gene(rng.Intn(alpha))
+		}
+		problem.Repair(g)
+		pop = append(pop, Individual{Genes: g})
+	}
+	pop = pop[:cfg.PopSize]
+
+	evals := 0
+	evaluate(problem, pop, cfg.Workers)
+	evals += len(pop)
+	sortPop(pop)
+
+	res := &Result{Best: pop[0].clone()}
+	res.History = append(res.History, stats(0, pop, evals))
+
+	noImprove := 0
+	gen := 0
+	for {
+		gen++
+		if cfg.MaxGenerations > 0 && gen > cfg.MaxGenerations {
+			break
+		}
+		if cfg.MaxEvals > 0 && evals >= cfg.MaxEvals {
+			break
+		}
+
+		children := make([]Individual, 0, cfg.Children)
+		for len(children) < cfg.Children {
+			op := pickOperator(rng, cfg)
+			switch op {
+			case opCross:
+				a := pop[rng.Intn(len(pop))]
+				b := pop[rng.Intn(len(pop))]
+				c1, c2 := crossover(rng, cfg.Crossover, a.Genes, b.Genes)
+				problem.Repair(c1)
+				children = append(children, Individual{Genes: c1})
+				if len(children) < cfg.Children {
+					problem.Repair(c2)
+					children = append(children, Individual{Genes: c2})
+				}
+			case opMut:
+				p := pop[rng.Intn(len(pop))]
+				c := mutate(rng, p.Genes, alpha)
+				problem.Repair(c)
+				children = append(children, Individual{Genes: c})
+			case opInv:
+				p := pop[rng.Intn(len(pop))]
+				c := invert(rng, p.Genes)
+				problem.Repair(c)
+				children = append(children, Individual{Genes: c})
+			}
+		}
+
+		evaluate(problem, children, cfg.Workers)
+		evals += len(children)
+
+		pop = append(pop, children...)
+		sortPop(pop)
+		pop = pop[:cfg.PopSize]
+
+		if pop[0].Fitness > res.Best.Fitness {
+			res.Best = pop[0].clone()
+			noImprove = 0
+		} else {
+			noImprove++
+		}
+		res.History = append(res.History, stats(gen, pop, evals))
+
+		if cfg.MaxNoImprove > 0 && noImprove >= cfg.MaxNoImprove {
+			break
+		}
+	}
+
+	res.Generations = gen
+	res.Evals = evals
+	return res, nil
+}
+
+type operator int
+
+const (
+	opCross operator = iota
+	opMut
+	opInv
+)
+
+func pickOperator(rng *rand.Rand, cfg Config) operator {
+	total := cfg.PCross + cfg.PMut + cfg.PInv
+	x := rng.Float64() * total
+	if x < cfg.PCross {
+		return opCross
+	}
+	if x < cfg.PCross+cfg.PMut {
+		return opMut
+	}
+	return opInv
+}
+
+func crossover(rng *rand.Rand, kind CrossoverKind, a, b []Gene) ([]Gene, []Gene) {
+	n := len(a)
+	c1 := append([]Gene(nil), a...)
+	c2 := append([]Gene(nil), b...)
+	switch kind {
+	case TwoPointCrossover:
+		i, j := rng.Intn(n), rng.Intn(n)
+		if i > j {
+			i, j = j, i
+		}
+		for k := i; k <= j; k++ {
+			c1[k], c2[k] = c2[k], c1[k]
+		}
+	default: // UniformCrossover
+		for k := 0; k < n; k++ {
+			if rng.Intn(2) == 0 {
+				c1[k], c2[k] = c2[k], c1[k]
+			}
+		}
+	}
+	return c1, c2
+}
+
+// mutate replaces one randomly selected gene by a random value (the paper's
+// mutation operator).
+func mutate(rng *rand.Rand, a []Gene, alphabet int) []Gene {
+	c := append([]Gene(nil), a...)
+	i := rng.Intn(len(c))
+	c[i] = Gene(rng.Intn(alphabet))
+	return c
+}
+
+// invert reverses the gene order between two random positions (the paper's
+// inversion operator).
+func invert(rng *rand.Rand, a []Gene) []Gene {
+	c := append([]Gene(nil), a...)
+	i, j := rng.Intn(len(c)), rng.Intn(len(c))
+	if i > j {
+		i, j = j, i
+	}
+	for i < j {
+		c[i], c[j] = c[j], c[i]
+		i++
+		j--
+	}
+	return c
+}
+
+// evaluate fills in fitness for individuals with parallel workers.
+func evaluate(problem Problem, inds []Individual, workers int) {
+	if workers <= 0 {
+		workers = 4
+	}
+	if workers > len(inds) {
+		workers = len(inds)
+	}
+	if workers <= 1 {
+		for i := range inds {
+			inds[i].Fitness = problem.Fitness(inds[i].Genes)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	ch := make(chan int, len(inds))
+	for i := range inds {
+		ch <- i
+	}
+	close(ch)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range ch {
+				inds[i].Fitness = problem.Fitness(inds[i].Genes)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// sortPop orders by descending fitness, stable so earlier individuals win
+// ties (deterministic runs).
+func sortPop(pop []Individual) {
+	sort.SliceStable(pop, func(i, j int) bool { return pop[i].Fitness > pop[j].Fitness })
+}
+
+func stats(gen int, pop []Individual, evals int) GenStats {
+	sum := 0.0
+	for _, ind := range pop {
+		sum += ind.Fitness
+	}
+	return GenStats{Generation: gen, Best: pop[0].Fitness, Mean: sum / float64(len(pop)), Evals: evals}
+}

@@ -1,0 +1,277 @@
+package ea
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// oneMax is the classic benchmark: fitness = number of genes equal to 1.
+type oneMax struct {
+	n     int
+	alpha int
+}
+
+func (p oneMax) GenomeLen() int { return p.n }
+func (p oneMax) Alphabet() int  { return p.alpha }
+func (p oneMax) Repair([]Gene)  {}
+func (p oneMax) Fitness(g []Gene) float64 {
+	s := 0
+	for _, x := range g {
+		if x == 1 {
+			s++
+		}
+	}
+	return float64(s)
+}
+
+// pinned requires gene 0 to be 2 after Repair.
+type pinned struct{ oneMax }
+
+func (p pinned) Repair(g []Gene) { g[0] = 2 }
+
+func TestValidate(t *testing.T) {
+	good := DefaultConfig(1)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []func(*Config){
+		func(c *Config) { c.PopSize = 1 },
+		func(c *Config) { c.Children = 0 },
+		func(c *Config) { c.PCross = -0.1 },
+		func(c *Config) { c.PMut = 1.5 },
+		func(c *Config) { c.PCross, c.PMut, c.PInv = 0, 0, 0 },
+		func(c *Config) { c.MaxNoImprove, c.MaxGenerations, c.MaxEvals = 0, 0, 0 },
+	}
+	for i, mod := range bad {
+		c := DefaultConfig(1)
+		mod(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestRunSolvesOneMax(t *testing.T) {
+	cfg := DefaultConfig(42)
+	cfg.PopSize = 20
+	cfg.Children = 20
+	cfg.MaxNoImprove = 200
+	cfg.MaxGenerations = 2000
+	res, err := Run(cfg, oneMax{n: 30, alpha: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Fitness < 28 {
+		t.Fatalf("EA reached only %.0f/30 on OneMax", res.Best.Fitness)
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	cfg := DefaultConfig(7)
+	cfg.MaxGenerations = 50
+	cfg.MaxNoImprove = 50
+	cfg.Workers = 4 // parallel eval must not perturb evolution
+	a, err := Run(cfg, oneMax{n: 20, alpha: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg, oneMax{n: 20, alpha: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Best.Fitness != b.Best.Fitness || a.Generations != b.Generations || a.Evals != b.Evals {
+		t.Fatalf("non-deterministic: %+v vs %+v", a.Best.Fitness, b.Best.Fitness)
+	}
+	for i := range a.Best.Genes {
+		if a.Best.Genes[i] != b.Best.Genes[i] {
+			t.Fatal("best genomes differ across identical runs")
+		}
+	}
+}
+
+func TestElitismMonotoneBest(t *testing.T) {
+	cfg := DefaultConfig(3)
+	cfg.MaxGenerations = 100
+	cfg.MaxNoImprove = 100
+	res, err := Run(cfg, oneMax{n: 25, alpha: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := -1.0
+	for _, g := range res.History {
+		if g.Best < prev {
+			t.Fatalf("best fitness decreased: gen %d %.1f < %.1f", g.Generation, g.Best, prev)
+		}
+		prev = g.Best
+	}
+}
+
+func TestRepairInvariantMaintained(t *testing.T) {
+	cfg := DefaultConfig(5)
+	cfg.MaxGenerations = 30
+	cfg.MaxNoImprove = 30
+	res, err := Run(cfg, pinned{oneMax{n: 10, alpha: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Genes[0] != 2 {
+		t.Fatal("Repair pin not maintained on best individual")
+	}
+}
+
+func TestSeedIndividualUsed(t *testing.T) {
+	// Seeding the optimum must make the run start at the optimum.
+	n := 15
+	opt := make([]Gene, n)
+	for i := range opt {
+		opt[i] = 1
+	}
+	cfg := DefaultConfig(11)
+	cfg.MaxGenerations = 1
+	cfg.MaxNoImprove = 1
+	res, err := Run(cfg, oneMax{n: n, alpha: 2}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Fitness != float64(n) {
+		t.Fatalf("seeded optimum lost: best=%.0f", res.Best.Fitness)
+	}
+	// Wrong-length seed rejected.
+	if _, err := Run(cfg, oneMax{n: n, alpha: 2}, make([]Gene, n+1)); err == nil {
+		t.Fatal("bad seed length accepted")
+	}
+}
+
+func TestMaxEvalsBudget(t *testing.T) {
+	cfg := DefaultConfig(13)
+	cfg.MaxEvals = 30
+	cfg.MaxGenerations = 0
+	cfg.MaxNoImprove = 0
+	cfg.MaxEvals = 30
+	res, err := Run(cfg, oneMax{n: 10, alpha: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Budget may be exceeded by at most one generation's children.
+	if res.Evals > 30+cfg.Children {
+		t.Fatalf("evals=%d exceeded budget", res.Evals)
+	}
+}
+
+func TestTwoPointCrossover(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := make([]Gene, 10)
+	b := make([]Gene, 10)
+	for i := range b {
+		b[i] = 1
+	}
+	c1, c2 := crossover(rng, TwoPointCrossover, a, b)
+	// children must be complementary and contain a contiguous swapped
+	// segment
+	for i := range c1 {
+		if c1[i]+c2[i] != 1 {
+			t.Fatalf("complementarity violated at %d", i)
+		}
+	}
+	changes := 0
+	for i := 1; i < len(c1); i++ {
+		if c1[i] != c1[i-1] {
+			changes++
+		}
+	}
+	if changes > 2 {
+		t.Fatalf("two-point crossover produced %d segment changes", changes)
+	}
+}
+
+func TestUniformCrossoverPreservesMultiset(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := []Gene{0, 0, 0, 0, 0}
+	b := []Gene{1, 1, 1, 1, 1}
+	c1, c2 := crossover(rng, UniformCrossover, a, b)
+	for i := range c1 {
+		if c1[i]+c2[i] != 1 {
+			t.Fatal("uniform crossover must exchange positionwise")
+		}
+	}
+}
+
+func TestMutateChangesAtMostOneGene(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for iter := 0; iter < 100; iter++ {
+		a := make([]Gene, 8)
+		for i := range a {
+			a[i] = Gene(rng.Intn(3))
+		}
+		c := mutate(rng, a, 3)
+		diff := 0
+		for i := range a {
+			if a[i] != c[i] {
+				diff++
+			}
+		}
+		if diff > 1 {
+			t.Fatalf("mutation changed %d genes", diff)
+		}
+	}
+}
+
+func TestInvertIsReversal(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := []Gene{0, 1, 2, 3, 4, 5, 6, 7}
+	// Property: inversion preserves the multiset of genes.
+	for iter := 0; iter < 50; iter++ {
+		c := invert(rng, a)
+		var countA, countC [8]int
+		for i := range a {
+			countA[a[i]]++
+			countC[c[i]]++
+		}
+		if countA != countC {
+			t.Fatal("inversion changed gene multiset")
+		}
+	}
+}
+
+func TestQuickPopulationSizeInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		cfg := DefaultConfig(seed)
+		cfg.MaxGenerations = 10
+		cfg.MaxNoImprove = 10
+		res, err := Run(cfg, oneMax{n: 8, alpha: 2})
+		if err != nil {
+			return false
+		}
+		// History has one entry per generation (+initial), evals
+		// consistent with S + gens*C.
+		return res.Evals == cfg.PopSize+res.Generations*cfg.Children ||
+			res.Evals <= cfg.PopSize+res.Generations*cfg.Children
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDegenerateProblemRejected(t *testing.T) {
+	cfg := DefaultConfig(1)
+	if _, err := Run(cfg, oneMax{n: 0, alpha: 2}); err == nil {
+		t.Fatal("zero-length genome accepted")
+	}
+	if _, err := Run(cfg, oneMax{n: 5, alpha: 1}); err == nil {
+		t.Fatal("unary alphabet accepted")
+	}
+}
+
+func TestPickOperatorDistribution(t *testing.T) {
+	cfg := DefaultConfig(1)
+	rng := rand.New(rand.NewSource(99))
+	var counts [3]int
+	for i := 0; i < 10000; i++ {
+		counts[pickOperator(rng, cfg)]++
+	}
+	// 30/30/10 normalized => ~42.8%, 42.8%, 14.3%
+	if counts[opCross] < 3500 || counts[opMut] < 3500 || counts[opInv] < 800 {
+		t.Fatalf("operator distribution off: %v", counts)
+	}
+}

@@ -1,0 +1,213 @@
+// Package faults implements the single stuck-at fault model on circuit
+// signals: fault-list generation, structural equivalence collapsing, and
+// both bit-parallel (fully specified patterns) and 3-valued (patterns
+// with X values) fault simulation. The 3-valued "definite detection"
+// check is what makes don't-care maximization in the ATPG sound: a
+// pattern with Xs detects a fault only if it does so for every fill of
+// the Xs.
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/circuit"
+	"repro/internal/testset"
+	"repro/internal/tritvec"
+)
+
+// Fault is a single stuck-at fault on a signal (stem fault).
+type Fault struct {
+	Signal int
+	// SA is the stuck value: tritvec.Zero or tritvec.One.
+	SA tritvec.Trit
+}
+
+// String renders e.g. "G10/0".
+func (f Fault) String() string { return fmt.Sprintf("sig%d/%s", f.Signal, f.SA) }
+
+// Name renders the fault with the circuit's signal name.
+func (f Fault) Name(c *circuit.Circuit) string {
+	return fmt.Sprintf("%s/%s", c.Names[f.Signal], f.SA)
+}
+
+// All returns the full fault list: stuck-at-0 and stuck-at-1 on every
+// signal.
+func All(c *circuit.Circuit) []Fault {
+	out := make([]Fault, 0, 2*c.NumSignals())
+	for s := 0; s < c.NumSignals(); s++ {
+		out = append(out, Fault{s, tritvec.Zero}, Fault{s, tritvec.One})
+	}
+	return out
+}
+
+// Collapse removes structurally equivalent faults. Rules (applied when the
+// fanin signal feeds only this gate, i.e. fanout == 1):
+//
+//	BUF:  in/v ≡ out/v        NOT:  in/v ≡ out/¬v
+//	AND:  in/0 ≡ out/0        NAND: in/0 ≡ out/1
+//	OR:   in/1 ≡ out/1        NOR:  in/1 ≡ out/0
+//
+// One representative (the fault closest to the inputs) is kept per class.
+func Collapse(c *circuit.Circuit) []Fault {
+	type fkey struct {
+		sig int
+		sa  tritvec.Trit
+	}
+	parent := make(map[fkey]fkey)
+	var find func(k fkey) fkey
+	find = func(k fkey) fkey {
+		if p, ok := parent[k]; ok && p != k {
+			root := find(p)
+			parent[k] = root
+			return root
+		}
+		return k
+	}
+	union := func(child, root fkey) {
+		parent[find(child)] = find(root)
+	}
+	fanout := c.Fanout()
+	for out := 0; out < c.NumSignals(); out++ {
+		t := c.Types[out]
+		if t == circuit.Input {
+			continue
+		}
+		for _, in := range c.Fanin[out] {
+			if len(fanout[in]) != 1 {
+				continue // branch fault, not modeled as equivalent
+			}
+			switch t {
+			case circuit.Buf:
+				union(fkey{out, tritvec.Zero}, fkey{in, tritvec.Zero})
+				union(fkey{out, tritvec.One}, fkey{in, tritvec.One})
+			case circuit.Not:
+				union(fkey{out, tritvec.Zero}, fkey{in, tritvec.One})
+				union(fkey{out, tritvec.One}, fkey{in, tritvec.Zero})
+			case circuit.And:
+				union(fkey{out, tritvec.Zero}, fkey{in, tritvec.Zero})
+			case circuit.Nand:
+				union(fkey{out, tritvec.One}, fkey{in, tritvec.Zero})
+			case circuit.Or:
+				union(fkey{out, tritvec.One}, fkey{in, tritvec.One})
+			case circuit.Nor:
+				union(fkey{out, tritvec.Zero}, fkey{in, tritvec.One})
+			}
+		}
+	}
+	seen := make(map[fkey]bool)
+	var out []Fault
+	for _, f := range All(c) {
+		root := find(fkey{f.Signal, f.SA})
+		if seen[root] {
+			continue
+		}
+		seen[root] = true
+		out = append(out, Fault{root.sig, root.sa})
+	}
+	return out
+}
+
+// DefinitelyDetects reports whether the (possibly partial) pattern detects
+// the fault for every fill of its X positions: some primary output has a
+// specified good value and a specified, different faulty value under
+// 3-valued simulation.
+func DefinitelyDetects(c *circuit.Circuit, pattern tritvec.Vector, f Fault) bool {
+	good := c.Sim3(pattern, nil)
+	bad := c.Sim3(pattern, &circuit.Force{Signal: f.Signal, Value: f.SA})
+	for _, po := range c.Outputs {
+		g, b := good[po], bad[po]
+		if g != tritvec.X && b != tritvec.X && g != b {
+			return true
+		}
+	}
+	return false
+}
+
+// Simulator runs bit-parallel stuck-at fault simulation.
+type Simulator struct {
+	c *circuit.Circuit
+	r *rand.Rand
+}
+
+// NewSimulator returns a fault simulator; seed controls the random fill of
+// X positions.
+func NewSimulator(c *circuit.Circuit, seed int64) *Simulator {
+	return &Simulator{c: c, r: rand.New(rand.NewSource(seed))}
+}
+
+// fillWords packs up to 64 patterns into per-input words, filling X
+// positions randomly.
+func (s *Simulator) fillWords(patterns []tritvec.Vector) []uint64 {
+	words := make([]uint64, len(s.c.Inputs))
+	for p, pat := range patterns {
+		for i := 0; i < pat.Len(); i++ {
+			var bit uint64
+			switch pat.Get(i) {
+			case tritvec.One:
+				bit = 1
+			case tritvec.Zero:
+				bit = 0
+			default:
+				bit = uint64(s.r.Intn(2))
+			}
+			words[i] |= bit << uint(p)
+		}
+	}
+	return words
+}
+
+// Run simulates the test set against the fault list and returns, for each
+// fault, whether it was detected by at least one pattern (X positions
+// filled randomly but consistently across good/faulty machines).
+func (s *Simulator) Run(ts *testset.TestSet, faults []Fault) []bool {
+	if ts.Width != len(s.c.Inputs) {
+		panic(fmt.Sprintf("faults: test width %d != inputs %d", ts.Width, len(s.c.Inputs)))
+	}
+	detected := make([]bool, len(faults))
+	for lo := 0; lo < len(ts.Patterns); lo += 64 {
+		hi := lo + 64
+		if hi > len(ts.Patterns) {
+			hi = len(ts.Patterns)
+		}
+		batch := ts.Patterns[lo:hi]
+		mask := ^uint64(0)
+		if n := hi - lo; n < 64 {
+			mask = (1 << uint(n)) - 1
+		}
+		words := s.fillWords(batch)
+		good := s.c.Sim64(words, nil)
+		for fi, f := range faults {
+			if detected[fi] {
+				continue
+			}
+			var force circuit.Force64
+			force.Signal = f.Signal
+			if f.SA == tritvec.One {
+				force.Value = ^uint64(0)
+			}
+			bad := s.c.Sim64(words, &force)
+			for _, po := range s.c.Outputs {
+				if (good[po]^bad[po])&mask != 0 {
+					detected[fi] = true
+					break
+				}
+			}
+		}
+	}
+	return detected
+}
+
+// Coverage returns the fraction of faults detected.
+func Coverage(detected []bool) float64 {
+	if len(detected) == 0 {
+		return 0
+	}
+	n := 0
+	for _, d := range detected {
+		if d {
+			n++
+		}
+	}
+	return float64(n) / float64(len(detected))
+}

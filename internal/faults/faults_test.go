@@ -1,0 +1,204 @@
+package faults
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/testset"
+	"repro/internal/tritvec"
+)
+
+func TestAllCount(t *testing.T) {
+	c := circuit.C17()
+	fl := All(c)
+	if len(fl) != 2*c.NumSignals() {
+		t.Fatalf("faults=%d want %d", len(fl), 2*c.NumSignals())
+	}
+}
+
+func TestCollapseShrinks(t *testing.T) {
+	c := circuit.C17()
+	all := All(c)
+	col := Collapse(c)
+	if len(col) >= len(all) {
+		t.Fatalf("collapse did not shrink: %d vs %d", len(col), len(all))
+	}
+	// c17: 11 signals -> 22 faults; fanout-1 NAND inputs collapse.
+	if len(col) < 10 {
+		t.Fatalf("collapse too aggressive: %d", len(col))
+	}
+}
+
+func TestCollapseEquivalenceIsSound(t *testing.T) {
+	// For a chain a -> NOT -> y, fault a/0 is equivalent to y/1: every
+	// pattern detecting one detects the other.
+	b := circuit.NewBuilder("chain")
+	b.AddInput("a")
+	if _, err := b.AddGate("y", circuit.Not, "a"); err != nil {
+		t.Fatal(err)
+	}
+	b.AddOutput("y")
+	c, err := b.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := c.SignalID("a")
+	y := c.SignalID("y")
+	for _, val := range []string{"0", "1"} {
+		p := tritvec.MustFromString(val)
+		dA := DefinitelyDetects(c, p, Fault{a, tritvec.Zero})
+		dY := DefinitelyDetects(c, p, Fault{y, tritvec.One})
+		if dA != dY {
+			t.Fatalf("pattern %s: a/0 detected=%v but y/1 detected=%v", val, dA, dY)
+		}
+	}
+	col := Collapse(c)
+	if len(col) != 2 {
+		t.Fatalf("inverter chain should collapse to 2 faults, got %d", len(col))
+	}
+}
+
+func TestDefinitelyDetects(t *testing.T) {
+	c := circuit.C17()
+	g1 := c.SignalID("G1")
+	// Fully specified pattern that detects G1 stuck-at-1: need G1=0,
+	// G3=1 so G10 flips 1->0, then propagate: G2 anything, G16...
+	// Use exhaustive search to find one and confirm semantics.
+	found := false
+	for bits := 0; bits < 32; bits++ {
+		p := tritvec.New(5)
+		for j := 0; j < 5; j++ {
+			if bits>>uint(j)&1 == 1 {
+				p.Set(j, tritvec.One)
+			} else {
+				p.Set(j, tritvec.Zero)
+			}
+		}
+		if DefinitelyDetects(c, p, Fault{g1, tritvec.One}) {
+			found = true
+			// X-ing out a needed input must make detection indefinite
+			// or keep it definite, never panic.
+			p.Set(0, tritvec.X)
+			_ = DefinitelyDetects(c, p, Fault{g1, tritvec.One})
+		}
+	}
+	if !found {
+		t.Fatal("no pattern detects G1/1 in c17 — impossible")
+	}
+	// An all-X pattern definitely detects nothing.
+	if DefinitelyDetects(c, tritvec.New(5), Fault{g1, tritvec.One}) {
+		t.Fatal("all-X pattern cannot definitely detect")
+	}
+}
+
+func TestDefiniteDetectionImpliesAllFills(t *testing.T) {
+	// Property: if a partial pattern definitely detects a fault, every
+	// full specification of it detects the fault in 2-valued simulation.
+	c := circuit.C17()
+	r := rand.New(rand.NewSource(8))
+	checked := 0
+	for iter := 0; iter < 300 && checked < 40; iter++ {
+		p := tritvec.RandomTernary(5, r)
+		f := Fault{r.Intn(c.NumSignals()), tritvec.Trit(1 + r.Intn(2))}
+		if !DefinitelyDetects(c, p, f) {
+			continue
+		}
+		checked++
+		nx := p.CountX()
+		for fill := 0; fill < 1<<uint(nx); fill++ {
+			full := p.Clone()
+			xs := p.XPositions()
+			for j, pos := range xs {
+				if fill>>uint(j)&1 == 1 {
+					full.Set(pos, tritvec.One)
+				} else {
+					full.Set(pos, tritvec.Zero)
+				}
+			}
+			if !DefinitelyDetects(c, full, f) {
+				t.Fatalf("partial %s detects %s but fill %s does not", p, f, full)
+			}
+		}
+	}
+	if checked == 0 {
+		t.Skip("no definite detections sampled")
+	}
+}
+
+func TestSimulatorAgreesWithDefiniteDetection(t *testing.T) {
+	c := circuit.C17()
+	fl := All(c)
+	// Exhaustive 32-pattern fully-specified test set: every detectable
+	// fault must be reported detected.
+	ts := testset.New(5)
+	for bits := 0; bits < 32; bits++ {
+		p := tritvec.New(5)
+		for j := 0; j < 5; j++ {
+			if bits>>uint(j)&1 == 1 {
+				p.Set(j, tritvec.One)
+			} else {
+				p.Set(j, tritvec.Zero)
+			}
+		}
+		ts.Add(p)
+	}
+	det := NewSimulator(c, 1).Run(ts, fl)
+	for fi, f := range fl {
+		wantDet := false
+		for _, p := range ts.Patterns {
+			if DefinitelyDetects(c, p, f) {
+				wantDet = true
+				break
+			}
+		}
+		if det[fi] != wantDet {
+			t.Fatalf("fault %s: simulator %v, reference %v", f.Name(c), det[fi], wantDet)
+		}
+	}
+	cov := Coverage(det)
+	if cov < 0.9 {
+		t.Fatalf("exhaustive coverage only %.2f — c17 should be almost fully testable", cov)
+	}
+}
+
+func TestSimulatorBatching(t *testing.T) {
+	// More than 64 patterns exercises the batch loop.
+	c, err := circuit.Random("r", circuit.RandomOptions{Inputs: 6, Gates: 25, Outputs: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(6))
+	ts := testset.Random(len(c.Inputs), 150, 1.0, r)
+	det := NewSimulator(c, 2).Run(ts, All(c))
+	if Coverage(det) == 0 {
+		t.Fatal("150 random patterns detected nothing — simulator broken")
+	}
+}
+
+func TestSimulatorWidthPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on width mismatch")
+		}
+	}()
+	c := circuit.C17()
+	NewSimulator(c, 1).Run(testset.New(3), All(c))
+}
+
+func TestCoverageEmpty(t *testing.T) {
+	if Coverage(nil) != 0 {
+		t.Fatal("empty coverage must be 0")
+	}
+}
+
+func TestFaultStrings(t *testing.T) {
+	c := circuit.C17()
+	f := Fault{c.SignalID("G10"), tritvec.Zero}
+	if f.Name(c) != "G10/0" {
+		t.Fatalf("Name=%q", f.Name(c))
+	}
+	if f.String() == "" {
+		t.Fatal("empty String")
+	}
+}

@@ -1,0 +1,114 @@
+// Package fdr implements frequency-directed run-length (FDR) codes
+// (Chandra & Chakrabarty, VTS'01): a variable-to-variable code over 0-run
+// lengths. Group A_k covers run lengths [2^k − 2, 2^(k+1) − 3]; its
+// codewords consist of a k-bit prefix ((k−1) ones followed by a zero) and
+// a k-bit tail, so short runs — the frequent case in test data — get the
+// shortest codewords.
+package fdr
+
+import (
+	"fmt"
+
+	"repro/internal/bitstream"
+	"repro/internal/runlength"
+	"repro/internal/testset"
+	"repro/internal/tritvec"
+)
+
+// group returns the FDR group k for run length n (k >= 1).
+func group(n int) int {
+	k := 1
+	base := 0 // 2^k - 2 for k=1
+	for {
+		hi := base + (1 << uint(k)) - 1 // last length in group k
+		if n <= hi {
+			return k
+		}
+		base = hi + 1
+		k++
+	}
+}
+
+// groupBase returns the first run length of group k: 2^k - 2.
+func groupBase(k int) int { return 1<<uint(k) - 2 }
+
+// EncodedLen returns the FDR codeword length (2k bits) for run length n.
+func EncodedLen(n int) int { return 2 * group(n) }
+
+// encodeRun writes the FDR codeword for run length n.
+func encodeRun(w *bitstream.Writer, n int) {
+	k := group(n)
+	for i := 0; i < k-1; i++ {
+		w.WriteBit(1)
+	}
+	w.WriteBit(0)
+	w.WriteBits(uint64(n-groupBase(k)), k)
+}
+
+// Result reports an encoding.
+type Result struct {
+	OriginalBits   int
+	CompressedBits int
+	Stream         *bitstream.Writer
+}
+
+// RatePercent returns the paper-style compression rate.
+func (r *Result) RatePercent() float64 {
+	if r.OriginalBits == 0 {
+		return 0
+	}
+	return 100 * float64(r.OriginalBits-r.CompressedBits) / float64(r.OriginalBits)
+}
+
+// Compress FDR-encodes the zero-filled test set string.
+func Compress(ts *testset.TestSet) (*Result, error) {
+	flat := runlength.ZeroFill(ts)
+	runs, trailing := runlength.Runs(flat)
+	w := bitstream.NewWriter()
+	for _, n := range runs {
+		encodeRun(w, n)
+	}
+	if trailing > 0 {
+		encodeRun(w, trailing)
+	}
+	return &Result{OriginalBits: ts.TotalBits(), CompressedBits: w.Len(), Stream: w}, nil
+}
+
+// Decompress reconstructs totalBits bits.
+func Decompress(r *bitstream.Reader, totalBits int) (tritvec.Vector, error) {
+	out := tritvec.New(totalBits)
+	pos := 0
+	for pos < totalBits {
+		if r.Remaining() == 0 {
+			for ; pos < totalBits; pos++ {
+				out.Set(pos, tritvec.Zero)
+			}
+			break
+		}
+		k := 1
+		for {
+			bit, err := r.ReadBit()
+			if err != nil {
+				return tritvec.Vector{}, err
+			}
+			if bit == 0 {
+				break
+			}
+			k++
+		}
+		tail, err := r.ReadBits(k)
+		if err != nil {
+			return tritvec.Vector{}, fmt.Errorf("fdr: truncated tail: %v", err)
+		}
+		n := groupBase(k) + int(tail)
+		for i := 0; i < n && pos < totalBits; i++ {
+			out.Set(pos, tritvec.Zero)
+			pos++
+		}
+		if pos < totalBits {
+			out.Set(pos, tritvec.One)
+			pos++
+		}
+	}
+	return out, nil
+}

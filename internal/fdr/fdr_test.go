@@ -1,0 +1,109 @@
+package fdr
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitstream"
+	"repro/internal/runlength"
+	"repro/internal/testset"
+)
+
+func TestGroups(t *testing.T) {
+	cases := []struct{ n, k int }{
+		{0, 1}, {1, 1}, // A1: 0..1
+		{2, 2}, {5, 2}, // A2: 2..5
+		{6, 3}, {13, 3}, // A3: 6..13
+		{14, 4}, {29, 4}, // A4: 14..29
+	}
+	for _, c := range cases {
+		if got := group(c.n); got != c.k {
+			t.Errorf("group(%d)=%d want %d", c.n, got, c.k)
+		}
+		if EncodedLen(c.n) != 2*c.k {
+			t.Errorf("EncodedLen(%d)=%d want %d", c.n, EncodedLen(c.n), 2*c.k)
+		}
+	}
+}
+
+func TestGroupBase(t *testing.T) {
+	for k := 1; k <= 6; k++ {
+		if groupBase(k) != 1<<uint(k)-2 {
+			t.Fatalf("groupBase(%d)=%d", k, groupBase(k))
+		}
+	}
+}
+
+func TestCodewordBits(t *testing.T) {
+	// Run length 0 (group 1, offset 0): prefix '0' tail '0' -> "00".
+	w := bitstream.NewWriter()
+	encodeRun(w, 0)
+	if w.Len() != 2 || w.Bytes()[0] != 0 {
+		t.Fatalf("encode(0): %d bits %08b", w.Len(), w.Bytes()[0])
+	}
+	// Run length 2 (group 2, offset 0): prefix '10' tail '00' -> "1000".
+	w = bitstream.NewWriter()
+	encodeRun(w, 2)
+	if w.Len() != 4 || w.Bytes()[0]>>4 != 0b1000 {
+		t.Fatalf("encode(2): %d bits %08b", w.Len(), w.Bytes()[0])
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for iter := 0; iter < 30; iter++ {
+		ts := testset.Random(r.Intn(30)+2, r.Intn(40)+1, r.Float64()*0.6, r)
+		res, err := Compress(ts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := Decompress(bitstream.FromWriter(res.Stream), ts.TotalBits())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := runlength.Verify(ts, dec); err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+	}
+}
+
+func TestSparseBeatsDense(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	sparse := testset.Random(32, 40, 0.03, r)
+	dense := testset.Random(32, 40, 0.6, r)
+	rs, err := Compress(sparse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, err := Compress(dense)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.RatePercent() <= rd.RatePercent() {
+		t.Fatalf("sparse rate %.1f%% not better than dense %.1f%%",
+			rs.RatePercent(), rd.RatePercent())
+	}
+	if rs.RatePercent() <= 0 {
+		t.Fatal("sparse data must compress with FDR")
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ts := testset.Random(r.Intn(20)+1, r.Intn(30)+1, r.Float64(), r)
+		res, err := Compress(ts)
+		if err != nil {
+			return false
+		}
+		dec, err := Decompress(bitstream.FromWriter(res.Stream), ts.TotalBits())
+		if err != nil {
+			return false
+		}
+		return runlength.Verify(ts, dec) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

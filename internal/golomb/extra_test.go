@@ -1,0 +1,79 @@
+package golomb
+
+import (
+	"testing"
+
+	"repro/internal/bitstream"
+	"repro/internal/runlength"
+	"repro/internal/testset"
+	"repro/internal/tritvec"
+)
+
+func TestCompressBestOnAllOnes(t *testing.T) {
+	// All-ones data: every run has length 0; M=2 minimizes codeword
+	// length (1 quotient bit + 1 remainder bit per run = 2 bits/bit,
+	// i.e. expansion). Rate must be negative but decode exact.
+	ts := testset.New(8)
+	p := tritvec.New(8)
+	for i := 0; i < 8; i++ {
+		p.Set(i, tritvec.One)
+	}
+	ts.Add(p)
+	best, err := CompressBest(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.RatePercent() >= 0 {
+		t.Fatalf("all-ones should expand, rate %.1f%%", best.RatePercent())
+	}
+	dec, err := Decompress(bitstream.FromWriter(best.Stream), best.M, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := runlength.Verify(ts, dec); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestM1UnaryCode(t *testing.T) {
+	// M=1 is pure unary: run n costs n+1 bits, no remainder.
+	w := bitstream.NewWriter()
+	encodeRun(w, 5, 1)
+	if w.Len() != 6 {
+		t.Fatalf("unary run 5 cost %d bits, want 6", w.Len())
+	}
+	ts, _ := testset.ParseStrings("000001")
+	res, err := Compress(ts, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Decompress(bitstream.FromWriter(res.Stream), 1, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := runlength.Verify(ts, dec); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecompressEmptyStream(t *testing.T) {
+	// No payload at all: everything is implied zeros.
+	dec, err := Decompress(bitstream.NewReader(nil, 0), 4, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if dec.Get(i) != tritvec.Zero {
+			t.Fatal("implied fill must be zero")
+		}
+	}
+}
+
+func TestDecompressTruncatedQuotient(t *testing.T) {
+	// A stream ending mid-quotient must error, not loop.
+	w := bitstream.NewWriter()
+	w.WriteBit(1) // quotient continuation without terminator
+	if _, err := Decompress(bitstream.FromWriter(w), 4, 100); err == nil {
+		t.Fatal("truncated quotient accepted")
+	}
+}

@@ -1,0 +1,150 @@
+// Package golomb implements Golomb coding of test data 0-runs (Chandra &
+// Chakrabarty, VTS'00): don't-cares are filled with 0; each run of 0s
+// terminated by a 1 is Golomb-encoded with parameter M (quotient in
+// unary, remainder in truncated binary).
+package golomb
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/bitstream"
+	"repro/internal/runlength"
+	"repro/internal/testset"
+	"repro/internal/tritvec"
+)
+
+// Result reports an encoding.
+type Result struct {
+	M              int
+	OriginalBits   int
+	CompressedBits int
+	Stream         *bitstream.Writer
+}
+
+// RatePercent returns the paper-style compression rate.
+func (r *Result) RatePercent() float64 {
+	if r.OriginalBits == 0 {
+		return 0
+	}
+	return 100 * float64(r.OriginalBits-r.CompressedBits) / float64(r.OriginalBits)
+}
+
+// encodeRun writes one Golomb codeword for run length n.
+func encodeRun(w *bitstream.Writer, n, m int) {
+	q := n / m
+	for i := 0; i < q; i++ {
+		w.WriteBit(1)
+	}
+	w.WriteBit(0)
+	writeTruncated(w, n%m, m)
+}
+
+// writeTruncated emits r in truncated binary for alphabet size m.
+func writeTruncated(w *bitstream.Writer, r, m int) {
+	if m == 1 {
+		return
+	}
+	b := bits.Len(uint(m - 1)) // ceil(log2 m)
+	cut := 1<<uint(b) - m
+	if r < cut {
+		w.WriteBits(uint64(r), b-1)
+	} else {
+		w.WriteBits(uint64(r+cut), b)
+	}
+}
+
+// readTruncated reads a truncated-binary value for alphabet size m.
+func readTruncated(r *bitstream.Reader, m int) (int, error) {
+	if m == 1 {
+		return 0, nil
+	}
+	b := bits.Len(uint(m - 1))
+	cut := 1<<uint(b) - m
+	v, err := r.ReadBits(b - 1)
+	if err != nil {
+		return 0, err
+	}
+	if int(v) < cut {
+		return int(v), nil
+	}
+	bit, err := r.ReadBit()
+	if err != nil {
+		return 0, err
+	}
+	return int(v)<<1 | int(bit) - cut, nil
+}
+
+// Compress encodes ts with Golomb parameter m. A trailing unterminated
+// run is encoded as a normal run; the decoder stops at the original
+// length.
+func Compress(ts *testset.TestSet, m int) (*Result, error) {
+	if m < 1 {
+		return nil, fmt.Errorf("golomb: M must be >= 1, got %d", m)
+	}
+	flat := runlength.ZeroFill(ts)
+	runs, trailing := runlength.Runs(flat)
+	w := bitstream.NewWriter()
+	for _, n := range runs {
+		encodeRun(w, n, m)
+	}
+	if trailing > 0 {
+		encodeRun(w, trailing, m)
+	}
+	return &Result{M: m, OriginalBits: ts.TotalBits(), CompressedBits: w.Len(), Stream: w}, nil
+}
+
+// CompressBest tries a range of M values (powers of two up to 256, as in
+// the literature) and returns the best result.
+func CompressBest(ts *testset.TestSet) (*Result, error) {
+	var best *Result
+	for m := 2; m <= 256; m *= 2 {
+		res, err := Compress(ts, m)
+		if err != nil {
+			return nil, err
+		}
+		if best == nil || res.CompressedBits < best.CompressedBits {
+			best = res
+		}
+	}
+	return best, nil
+}
+
+// Decompress reconstructs totalBits bits.
+func Decompress(r *bitstream.Reader, m, totalBits int) (tritvec.Vector, error) {
+	out := tritvec.New(totalBits)
+	pos := 0
+	for pos < totalBits {
+		if r.Remaining() == 0 {
+			for ; pos < totalBits; pos++ {
+				out.Set(pos, tritvec.Zero)
+			}
+			break
+		}
+		q := 0
+		for {
+			bit, err := r.ReadBit()
+			if err != nil {
+				return tritvec.Vector{}, err
+			}
+			if bit == 0 {
+				break
+			}
+			q++
+		}
+		rem, err := readTruncated(r, m)
+		if err != nil {
+			return tritvec.Vector{}, err
+		}
+		n := q*m + rem
+		for i := 0; i < n && pos < totalBits; i++ {
+			out.Set(pos, tritvec.Zero)
+			pos++
+		}
+		if pos < totalBits {
+			out.Set(pos, tritvec.One)
+			pos++
+		}
+	}
+	return out, nil
+}

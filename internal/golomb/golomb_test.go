@@ -1,0 +1,108 @@
+package golomb
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitstream"
+	"repro/internal/runlength"
+	"repro/internal/testset"
+)
+
+func TestTruncatedBinaryRoundTrip(t *testing.T) {
+	for m := 1; m <= 17; m++ {
+		for v := 0; v < m; v++ {
+			w := bitstream.NewWriter()
+			writeTruncated(w, v, m)
+			r := bitstream.FromWriter(w)
+			got, err := readTruncated(r, m)
+			if err != nil {
+				t.Fatalf("m=%d v=%d: %v", m, v, err)
+			}
+			if got != v {
+				t.Fatalf("m=%d: wrote %d read %d", m, v, got)
+			}
+			if r.Remaining() != 0 {
+				t.Fatalf("m=%d v=%d: trailing bits", m, v)
+			}
+		}
+	}
+}
+
+func TestGolombCodewordLengths(t *testing.T) {
+	// For M=4 (power of two = Rice code), run n costs n/4 + 1 + 2 bits.
+	for _, n := range []int{0, 1, 3, 4, 7, 8, 100} {
+		w := bitstream.NewWriter()
+		encodeRun(w, n, 4)
+		want := n/4 + 1 + 2
+		if w.Len() != want {
+			t.Fatalf("n=%d: len=%d want %d", n, w.Len(), want)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for _, m := range []int{1, 2, 3, 4, 7, 8, 16} {
+		ts := testset.Random(16, 25, 0.2, r)
+		res, err := Compress(ts, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := Decompress(bitstream.FromWriter(res.Stream), m, ts.TotalBits())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := runlength.Verify(ts, dec); err != nil {
+			t.Fatalf("M=%d: %v", m, err)
+		}
+	}
+}
+
+func TestCompressBest(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	ts := testset.Random(32, 40, 0.05, r)
+	best, err := CompressBest(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Best must be no worse than a fixed choice.
+	fixed, err := Compress(ts, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.CompressedBits > fixed.CompressedBits {
+		t.Fatalf("best (%d) worse than M=4 (%d)", best.CompressedBits, fixed.CompressedBits)
+	}
+	if best.RatePercent() <= 0 {
+		t.Fatalf("sparse data should compress, rate=%.1f", best.RatePercent())
+	}
+}
+
+func TestBadM(t *testing.T) {
+	ts, _ := testset.ParseStrings("01")
+	if _, err := Compress(ts, 0); err == nil {
+		t.Fatal("M=0 accepted")
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ts := testset.Random(r.Intn(20)+1, r.Intn(30)+1, r.Float64(), r)
+		m := r.Intn(16) + 1
+		res, err := Compress(ts, m)
+		if err != nil {
+			return false
+		}
+		dec, err := Decompress(bitstream.FromWriter(res.Stream), m, ts.TotalBits())
+		if err != nil {
+			return false
+		}
+		return runlength.Verify(ts, dec) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

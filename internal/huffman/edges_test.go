@@ -1,0 +1,70 @@
+package huffman
+
+import "testing"
+
+func TestEdgesConsistentWithDecode(t *testing.T) {
+	c, err := Build([]int{7, 3, 2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDecoder(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := d.Edges()
+	// A full binary trie over n leaves has n-1 internal nodes and
+	// 2(n-1) edges.
+	used := c.NumUsed()
+	if len(edges) != 2*(used-1) {
+		t.Fatalf("edges=%d want %d", len(edges), 2*(used-1))
+	}
+	leafCount := 0
+	for _, e := range edges {
+		if e.Bit != 0 && e.Bit != 1 {
+			t.Fatalf("bad bit %d", e.Bit)
+		}
+		if e.Leaf {
+			leafCount++
+			if e.Symbol < 0 || e.Symbol >= len(c.Lengths) || c.Lengths[e.Symbol] == 0 {
+				t.Fatalf("leaf edge decodes invalid symbol %d", e.Symbol)
+			}
+		} else {
+			if e.To <= 0 || e.To >= d.NumNodes() {
+				t.Fatalf("internal edge to invalid state %d", e.To)
+			}
+		}
+	}
+	if leafCount != used {
+		t.Fatalf("leaf edges %d != used symbols %d", leafCount, used)
+	}
+	// Walking edges from the root must reproduce each codeword's symbol.
+	for sym, l := range c.Lengths {
+		if l == 0 {
+			continue
+		}
+		state := 0
+		for b := l - 1; b >= 0; b-- {
+			bit := int(c.Words[sym] >> uint(b) & 1)
+			var next *Edge
+			for i := range edges {
+				if edges[i].From == state && edges[i].Bit == bit {
+					next = &edges[i]
+					break
+				}
+			}
+			if next == nil {
+				t.Fatalf("symbol %d: missing edge at state %d bit %d", sym, state, bit)
+			}
+			if b == 0 {
+				if !next.Leaf || next.Symbol != sym {
+					t.Fatalf("symbol %d: walk ended at %+v", sym, next)
+				}
+			} else {
+				if next.Leaf {
+					t.Fatalf("symbol %d: premature leaf", sym)
+				}
+				state = next.To
+			}
+		}
+	}
+}

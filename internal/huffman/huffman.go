@@ -1,0 +1,322 @@
+// Package huffman implements canonical Huffman coding over symbol
+// frequencies, as used by the paper to assign prefix codewords to matching
+// vectors (Section 3.3). Symbols with zero frequency receive no codeword at
+// all — the paper notes that "an MV with a frequency of 0 can be simply
+// left out without allocating a codeword to it".
+package huffman
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+)
+
+// Code is a prefix code over a symbol alphabet 0..n-1. A symbol with
+// Lengths[i]==0 has no codeword (zero frequency).
+type Code struct {
+	// Lengths[i] is the codeword length in bits for symbol i (0 = absent).
+	Lengths []int
+	// Words[i] holds the codeword bits for symbol i, MSB-first in the low
+	// Lengths[i] bits.
+	Words []uint64
+}
+
+// NumSymbols returns the alphabet size (including absent symbols).
+func (c *Code) NumSymbols() int { return len(c.Lengths) }
+
+// NumUsed returns the number of symbols with a codeword.
+func (c *Code) NumUsed() int {
+	n := 0
+	for _, l := range c.Lengths {
+		if l > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// WordString renders symbol i's codeword as a binary string.
+func (c *Code) WordString(i int) string {
+	l := c.Lengths[i]
+	if l == 0 {
+		return ""
+	}
+	buf := make([]byte, l)
+	for b := 0; b < l; b++ {
+		buf[b] = byte('0' + (c.Words[i] >> uint(l-1-b) & 1))
+	}
+	return string(buf)
+}
+
+type node struct {
+	freq   int
+	order  int // tie-break: deterministic builds
+	symbol int // leaf symbol, -1 for internal
+	left   *node
+	right  *node
+}
+
+type nodeHeap []*node
+
+func (h nodeHeap) Len() int { return len(h) }
+func (h nodeHeap) Less(i, j int) bool {
+	if h[i].freq != h[j].freq {
+		return h[i].freq < h[j].freq
+	}
+	return h[i].order < h[j].order
+}
+func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(*node)) }
+func (h *nodeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Build constructs a canonical Huffman code for the given frequencies.
+// Zero-frequency symbols are excluded. If exactly one symbol has nonzero
+// frequency it is assigned the 1-bit codeword "0" (a degenerate but valid
+// prefix code; the stream remains self-delimiting). Build returns an error
+// if no symbol has positive frequency.
+func Build(freqs []int) (*Code, error) {
+	n := len(freqs)
+	h := make(nodeHeap, 0, n)
+	for i, f := range freqs {
+		if f < 0 {
+			return nil, fmt.Errorf("huffman: negative frequency %d for symbol %d", f, i)
+		}
+		if f > 0 {
+			h = append(h, &node{freq: f, order: i, symbol: i})
+		}
+	}
+	if len(h) == 0 {
+		return nil, fmt.Errorf("huffman: no symbol with positive frequency")
+	}
+	lengths := make([]int, n)
+	if len(h) == 1 {
+		lengths[h[0].symbol] = 1
+		return canonical(lengths)
+	}
+	heap.Init(&h)
+	order := n
+	for h.Len() > 1 {
+		a := heap.Pop(&h).(*node)
+		b := heap.Pop(&h).(*node)
+		heap.Push(&h, &node{freq: a.freq + b.freq, order: order, symbol: -1, left: a, right: b})
+		order++
+	}
+	root := h[0]
+	var walk func(nd *node, depth int)
+	walk = func(nd *node, depth int) {
+		if nd.symbol >= 0 {
+			lengths[nd.symbol] = depth
+			return
+		}
+		walk(nd.left, depth+1)
+		walk(nd.right, depth+1)
+	}
+	walk(root, 0)
+	return canonical(lengths)
+}
+
+// FromLengths builds a canonical code from explicit codeword lengths
+// (0 = absent). It validates the Kraft inequality.
+func FromLengths(lengths []int) (*Code, error) {
+	ls := append([]int(nil), lengths...)
+	return canonical(ls)
+}
+
+// canonical assigns canonical codewords for the given lengths: symbols are
+// sorted by (length, symbol index); codewords increase numerically.
+func canonical(lengths []int) (*Code, error) {
+	type sym struct{ idx, len int }
+	var used []sym
+	maxLen := 0
+	for i, l := range lengths {
+		if l < 0 || l > 62 {
+			return nil, fmt.Errorf("huffman: invalid code length %d for symbol %d", l, i)
+		}
+		if l > 0 {
+			used = append(used, sym{i, l})
+			if l > maxLen {
+				maxLen = l
+			}
+		}
+	}
+	if len(used) == 0 {
+		return nil, fmt.Errorf("huffman: empty code")
+	}
+	// Kraft sum must be ≤ 1 for a prefix code to exist.
+	var kraft uint64
+	unit := uint64(1) << uint(maxLen)
+	for _, s := range used {
+		kraft += unit >> uint(s.len)
+	}
+	if kraft > unit {
+		return nil, fmt.Errorf("huffman: lengths violate Kraft inequality")
+	}
+	sort.Slice(used, func(i, j int) bool {
+		if used[i].len != used[j].len {
+			return used[i].len < used[j].len
+		}
+		return used[i].idx < used[j].idx
+	})
+	words := make([]uint64, len(lengths))
+	var code uint64
+	prevLen := used[0].len
+	for _, s := range used {
+		code <<= uint(s.len - prevLen)
+		prevLen = s.len
+		words[s.idx] = code
+		code++
+	}
+	return &Code{Lengths: lengths, Words: words}, nil
+}
+
+// IsPrefixFree verifies that no codeword is a prefix of another. Canonical
+// construction guarantees this; the check exists for tests and for codes
+// loaded from external sources (e.g. the fixed 9C code table).
+func (c *Code) IsPrefixFree() bool {
+	type w struct {
+		bits uint64
+		len  int
+	}
+	var ws []w
+	for i, l := range c.Lengths {
+		if l > 0 {
+			ws = append(ws, w{c.Words[i], l})
+		}
+	}
+	for i := 0; i < len(ws); i++ {
+		for j := 0; j < len(ws); j++ {
+			if i == j {
+				continue
+			}
+			a, b := ws[i], ws[j]
+			if a.len <= b.len && b.bits>>uint(b.len-a.len) == a.bits {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TotalBits returns Σ freqs[i] * Lengths[i] — the codeword contribution to
+// the compressed size (fill bits are accounted for by the caller).
+func (c *Code) TotalBits(freqs []int) int {
+	total := 0
+	for i, f := range freqs {
+		total += f * c.Lengths[i]
+	}
+	return total
+}
+
+// Explicit builds a Code directly from (length, word) pairs without
+// canonicalization. Used for the fixed 9C codeword table from the paper.
+func Explicit(lengths []int, words []uint64) (*Code, error) {
+	if len(lengths) != len(words) {
+		return nil, fmt.Errorf("huffman: lengths/words size mismatch")
+	}
+	c := &Code{Lengths: append([]int(nil), lengths...), Words: append([]uint64(nil), words...)}
+	if !c.IsPrefixFree() {
+		return nil, fmt.Errorf("huffman: explicit code is not prefix-free")
+	}
+	return c, nil
+}
+
+// Decoder walks a prefix code bit by bit.
+type Decoder struct {
+	// children[node][bit] -> next node (>=0) or ^symbol (<0, leaf).
+	children [][2]int
+}
+
+// NewDecoder builds a decoding trie for c.
+func NewDecoder(c *Code) (*Decoder, error) {
+	d := &Decoder{children: make([][2]int, 1)}
+	d.children[0] = [2]int{-1 - (1 << 30), -1 - (1 << 30)}
+	const empty = -1 - (1 << 30)
+	for sym, l := range c.Lengths {
+		if l == 0 {
+			continue
+		}
+		nodeIdx := 0
+		for b := l - 1; b >= 0; b-- {
+			bit := int(c.Words[sym] >> uint(b) & 1)
+			next := d.children[nodeIdx][bit]
+			if b == 0 {
+				if next != empty {
+					return nil, fmt.Errorf("huffman: code not prefix-free at symbol %d", sym)
+				}
+				d.children[nodeIdx][bit] = -1 - sym
+			} else {
+				if next == empty {
+					d.children = append(d.children, [2]int{empty, empty})
+					next = len(d.children) - 1
+					d.children[nodeIdx][bit] = next
+				} else if next < 0 {
+					return nil, fmt.Errorf("huffman: code not prefix-free at symbol %d", sym)
+				}
+				nodeIdx = next
+			}
+		}
+	}
+	return d, nil
+}
+
+// Decode consumes bits via nextBit until a symbol is reached.
+func (d *Decoder) Decode(nextBit func() (uint, error)) (int, error) {
+	const empty = -1 - (1 << 30)
+	nodeIdx := 0
+	for {
+		b, err := nextBit()
+		if err != nil {
+			return 0, err
+		}
+		next := d.children[nodeIdx][b&1]
+		if next == empty {
+			return 0, fmt.Errorf("huffman: invalid bit sequence")
+		}
+		if next < 0 {
+			return -1 - next, nil
+		}
+		nodeIdx = next
+	}
+}
+
+// NumNodes returns the number of internal trie nodes — used by the on-chip
+// decoder area model.
+func (d *Decoder) NumNodes() int { return len(d.children) }
+
+// Edge is one transition of the decoding trie.
+type Edge struct {
+	From int // source state
+	Bit  int // input bit (0 or 1)
+	To   int // target state (internal edges only)
+	// Leaf marks codeword-completing edges; Symbol is then the decoded
+	// symbol and To is meaningless.
+	Leaf   bool
+	Symbol int
+}
+
+// Edges lists all trie transitions, for hardware synthesis of the
+// decoder FSM.
+func (d *Decoder) Edges() []Edge {
+	const empty = -1 - (1 << 30)
+	var out []Edge
+	for s, ch := range d.children {
+		for b := 0; b < 2; b++ {
+			next := ch[b]
+			if next == empty {
+				continue
+			}
+			if next < 0 {
+				out = append(out, Edge{From: s, Bit: b, Leaf: true, Symbol: -1 - next})
+			} else {
+				out = append(out, Edge{From: s, Bit: b, To: next})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,156 @@
+package multichain
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/testset"
+)
+
+func quickParams(seed int64) core.Params {
+	p := core.DefaultParams(seed)
+	p.K = 8
+	p.L = 16
+	p.Runs = 1
+	p.EA.MaxGenerations = 25
+	p.EA.MaxNoImprove = 10
+	return p
+}
+
+func TestSplitWidths(t *testing.T) {
+	ts := testset.Random(10, 5, 0.5, rand.New(rand.NewSource(1)))
+	for _, a := range []Assignment{Interleaved, Contiguous} {
+		chains, err := Split(ts, 3, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(chains) != 3 {
+			t.Fatalf("chains=%d", len(chains))
+		}
+		total := 0
+		for _, ch := range chains {
+			total += ch.Width
+			if ch.NumPatterns() != 5 {
+				t.Fatal("pattern count changed")
+			}
+		}
+		if total != 10 {
+			t.Fatalf("widths sum to %d", total)
+		}
+		// Balanced: widths differ by at most 1.
+		if chains[0].Width-chains[2].Width > 1 {
+			t.Fatalf("unbalanced: %d vs %d", chains[0].Width, chains[2].Width)
+		}
+	}
+}
+
+func TestSplitErrors(t *testing.T) {
+	ts := testset.Random(4, 2, 0.5, rand.New(rand.NewSource(2)))
+	if _, err := Split(ts, 0, Interleaved); err == nil {
+		t.Fatal("0 chains accepted")
+	}
+	if _, err := Split(ts, 5, Interleaved); err == nil {
+		t.Fatal("more chains than inputs accepted")
+	}
+}
+
+func TestColumnMappingExact(t *testing.T) {
+	ts, err := testset.ParseStrings("01X10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	chains, err := Split(ts, 2, Interleaved)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interleaved: chain0 gets cols 0,2,4 -> "0X0"; chain1 cols 1,3 -> "11".
+	if chains[0].Patterns[0].String() != "0X0" {
+		t.Fatalf("chain0=%q", chains[0].Patterns[0].String())
+	}
+	if chains[1].Patterns[0].String() != "11" {
+		t.Fatalf("chain1=%q", chains[1].Patterns[0].String())
+	}
+	chains, err = Split(ts, 2, Contiguous)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Contiguous: chain0 cols 0,1,2 -> "01X"; chain1 cols 3,4 -> "10".
+	if chains[0].Patterns[0].String() != "01X" || chains[1].Patterns[0].String() != "10" {
+		t.Fatalf("contiguous wrong: %q %q",
+			chains[0].Patterns[0].String(), chains[1].Patterns[0].String())
+	}
+}
+
+func TestQuickSplitMergeIdentity(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		w := r.Intn(20) + 2
+		n := r.Intn(w) + 1
+		a := Assignment(r.Intn(2))
+		ts := testset.Random(w, r.Intn(10)+1, r.Float64(), r)
+		return VerifyRoundTrip(ts, n, a) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeValidation(t *testing.T) {
+	ts := testset.Random(6, 4, 0.5, rand.New(rand.NewSource(3)))
+	chains, err := Split(ts, 2, Interleaved)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Merge(nil, 6, Interleaved); err == nil {
+		t.Fatal("empty merge accepted")
+	}
+	if _, err := Merge(chains, 7, Interleaved); err == nil {
+		t.Fatal("wrong width accepted")
+	}
+	bad := []*testset.TestSet{chains[0], testset.New(chains[1].Width)}
+	if _, err := Merge(bad, 6, Interleaved); err == nil {
+		t.Fatal("ragged pattern counts accepted")
+	}
+}
+
+func TestCompressPerChain(t *testing.T) {
+	ts := testset.Random(16, 40, 0.25, rand.New(rand.NewSource(4)))
+	sum, err := CompressPerChain(ts, 2, Interleaved, quickParams(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Chains) != 2 || sum.Decoders != 2 {
+		t.Fatalf("summary %+v", sum)
+	}
+	if sum.OriginalBits != ts.TotalBits() {
+		t.Fatal("original size wrong")
+	}
+	if sum.CompressedBits <= 0 {
+		t.Fatal("no compressed bits accounted")
+	}
+	if sum.RatePercent() < -100 {
+		t.Fatal("absurd rate")
+	}
+}
+
+func TestCompressShared(t *testing.T) {
+	ts := testset.Random(16, 40, 0.25, rand.New(rand.NewSource(5)))
+	sum, err := CompressShared(ts, 2, Interleaved, quickParams(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Decoders != 1 {
+		t.Fatal("shared design must use one decoder")
+	}
+	if len(sum.Chains) != 1 {
+		t.Fatal("shared design has one aggregate result")
+	}
+}
+
+func TestSummaryRateEmpty(t *testing.T) {
+	if (&Summary{}).RatePercent() != 0 {
+		t.Fatal("empty summary rate")
+	}
+}

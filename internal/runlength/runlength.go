@@ -1,0 +1,127 @@
+// Package runlength implements fixed-block run-length coding of test data
+// (Jas & Touba, ITC'98 style): don't-cares are filled with 0 to maximize
+// 0-runs, and each run of 0s terminated by a 1 is encoded with a b-bit
+// counter. A run longer than 2^b-1 is split by emitting the all-ones
+// counter value, which means "2^b-1 zeros, no terminating 1".
+package runlength
+
+import (
+	"fmt"
+
+	"repro/internal/bitstream"
+	"repro/internal/testset"
+	"repro/internal/tritvec"
+)
+
+// ZeroFill flattens the test set and replaces every X with 0 — the
+// standard fill for run-length-family coders.
+func ZeroFill(ts *testset.TestSet) tritvec.Vector {
+	return ts.Flatten().Specify(tritvec.Zero)
+}
+
+// Runs extracts the 0-run lengths of a fully specified bit string: one
+// entry per 1-bit (the zeros preceding it); a trailing run without a
+// terminating 1 is returned separately.
+func Runs(flat tritvec.Vector) (runs []int, trailing int) {
+	cur := 0
+	for i := 0; i < flat.Len(); i++ {
+		switch flat.Get(i) {
+		case tritvec.Zero:
+			cur++
+		case tritvec.One:
+			runs = append(runs, cur)
+			cur = 0
+		default:
+			panic("runlength: unspecified bit in Runs input")
+		}
+	}
+	return runs, cur
+}
+
+// Result reports an encoding.
+type Result struct {
+	OriginalBits   int
+	CompressedBits int
+	Stream         *bitstream.Writer
+}
+
+// RatePercent returns the paper-style compression rate.
+func (r *Result) RatePercent() float64 {
+	if r.OriginalBits == 0 {
+		return 0
+	}
+	return 100 * float64(r.OriginalBits-r.CompressedBits) / float64(r.OriginalBits)
+}
+
+// Compress encodes ts with b-bit run counters.
+func Compress(ts *testset.TestSet, b int) (*Result, error) {
+	if b < 1 || b > 30 {
+		return nil, fmt.Errorf("runlength: counter width %d out of range", b)
+	}
+	flat := ZeroFill(ts)
+	w := bitstream.NewWriter()
+	max := (1 << uint(b)) - 1
+	emit := func(run int, terminated bool) {
+		for run >= max {
+			w.WriteBits(uint64(max), b)
+			run -= max
+		}
+		if terminated {
+			w.WriteBits(uint64(run), b)
+		} else if run > 0 {
+			// Trailing zeros: emit as split runs; the decoder stops at
+			// the original length, so a final full-length marker works.
+			w.WriteBits(uint64(max), b)
+			// Any residue beyond is implied by total length.
+		}
+	}
+	runs, trailing := Runs(flat)
+	for _, r := range runs {
+		emit(r, true)
+	}
+	emit(trailing, false)
+	return &Result{OriginalBits: ts.TotalBits(), CompressedBits: w.Len(), Stream: w}, nil
+}
+
+// Decompress reconstructs totalBits bits from the stream.
+func Decompress(r *bitstream.Reader, b, totalBits int) (tritvec.Vector, error) {
+	out := tritvec.New(totalBits)
+	max := uint64(1<<uint(b)) - 1
+	pos := 0
+	for pos < totalBits {
+		if r.Remaining() < b {
+			// Stream exhausted: the rest is implied zeros.
+			for ; pos < totalBits; pos++ {
+				out.Set(pos, tritvec.Zero)
+			}
+			break
+		}
+		v, err := r.ReadBits(b)
+		if err != nil {
+			return tritvec.Vector{}, err
+		}
+		n := int(v)
+		for i := 0; i < n && pos < totalBits; i++ {
+			out.Set(pos, tritvec.Zero)
+			pos++
+		}
+		if v != max && pos < totalBits {
+			out.Set(pos, tritvec.One)
+			pos++
+		}
+	}
+	return out, nil
+}
+
+// Verify checks that decoded preserves the specified bits of the original
+// test set under zero fill.
+func Verify(ts *testset.TestSet, decoded tritvec.Vector) error {
+	want := ZeroFill(ts)
+	if want.Len() != decoded.Len() {
+		return fmt.Errorf("runlength: length mismatch %d vs %d", want.Len(), decoded.Len())
+	}
+	if !want.Equal(decoded) {
+		return fmt.Errorf("runlength: decoded stream differs from zero-filled original")
+	}
+	return nil
+}

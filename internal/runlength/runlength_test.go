@@ -1,0 +1,137 @@
+package runlength
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitstream"
+	"repro/internal/testset"
+	"repro/internal/tritvec"
+)
+
+func TestZeroFill(t *testing.T) {
+	ts, _ := testset.ParseStrings("1X0X")
+	if got := ZeroFill(ts).String(); got != "1000" {
+		t.Fatalf("ZeroFill=%q", got)
+	}
+}
+
+func TestRuns(t *testing.T) {
+	flat := tritvec.MustFromString("0001001100")
+	runs, trailing := Runs(flat)
+	want := []int{3, 2, 0}
+	if len(runs) != len(want) {
+		t.Fatalf("runs=%v", runs)
+	}
+	for i := range want {
+		if runs[i] != want[i] {
+			t.Fatalf("runs=%v want %v", runs, want)
+		}
+	}
+	if trailing != 2 {
+		t.Fatalf("trailing=%d", trailing)
+	}
+}
+
+func TestRunsPanicsOnX(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Runs(tritvec.MustFromString("0X1"))
+}
+
+func TestRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for iter := 0; iter < 30; iter++ {
+		ts := testset.Random(10, 20, r.Float64()*0.5, r)
+		res, err := Compress(ts, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := Decompress(bitstream.FromWriter(res.Stream), 4, ts.TotalBits())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Verify(ts, dec); err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+	}
+}
+
+func TestLongRunSplitting(t *testing.T) {
+	// A run longer than 2^b-1 must split correctly.
+	ts := testset.New(40)
+	p := tritvec.New(40)
+	for i := 0; i < 40; i++ {
+		p.Set(i, tritvec.Zero)
+	}
+	p.Set(39, tritvec.One) // 39 zeros then a 1
+	ts.Add(p)
+	res, err := Compress(ts, 3) // max run 7
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Decompress(bitstream.FromWriter(res.Stream), 3, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(ts, dec); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSparseDataCompresses(t *testing.T) {
+	// Very sparse data (mostly X -> zeros) must achieve positive rate.
+	r := rand.New(rand.NewSource(2))
+	ts := testset.Random(32, 50, 0.03, r)
+	res, err := Compress(ts, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RatePercent() <= 0 {
+		t.Fatalf("rate=%.1f%% on sparse data", res.RatePercent())
+	}
+}
+
+func TestBadCounterWidth(t *testing.T) {
+	ts, _ := testset.ParseStrings("01")
+	if _, err := Compress(ts, 0); err == nil {
+		t.Fatal("b=0 accepted")
+	}
+	if _, err := Compress(ts, 31); err == nil {
+		t.Fatal("b=31 accepted")
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ts := testset.Random(r.Intn(20)+1, r.Intn(30)+1, r.Float64(), r)
+		b := r.Intn(8) + 2
+		res, err := Compress(ts, b)
+		if err != nil {
+			return false
+		}
+		dec, err := Decompress(bitstream.FromWriter(res.Stream), b, ts.TotalBits())
+		if err != nil {
+			return false
+		}
+		return Verify(ts, dec) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyRejects(t *testing.T) {
+	ts, _ := testset.ParseStrings("11")
+	if err := Verify(ts, tritvec.MustFromString("111")); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if err := Verify(ts, tritvec.MustFromString("10")); err == nil {
+		t.Fatal("wrong bits accepted")
+	}
+}

@@ -1,0 +1,152 @@
+// Package selhuff implements selective Huffman coding of test data (Jas,
+// Ghosh-Dastidar & Touba, VTS'99): the test-set string is zero-filled and
+// cut into fixed blocks of K bits; the D most frequent block patterns
+// receive Huffman codewords marked with a '1' flag bit, all other blocks
+// are transmitted raw behind a '0' flag.
+package selhuff
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bitstream"
+	"repro/internal/huffman"
+	"repro/internal/runlength"
+	"repro/internal/testset"
+	"repro/internal/tritvec"
+)
+
+// Result reports an encoding.
+type Result struct {
+	K, D           int
+	OriginalBits   int
+	CompressedBits int
+	Stream         *bitstream.Writer
+	// Dictionary holds the encoded patterns in symbol order.
+	Dictionary []uint64
+	Code       *huffman.Code
+}
+
+// RatePercent returns the paper-style compression rate.
+func (r *Result) RatePercent() float64 {
+	if r.OriginalBits == 0 {
+		return 0
+	}
+	return 100 * float64(r.OriginalBits-r.CompressedBits) / float64(r.OriginalBits)
+}
+
+// blockWord packs a fully specified K-bit block into a uint64.
+func blockWord(flat tritvec.Vector, off, k int) uint64 {
+	var w uint64
+	for i := 0; i < k; i++ {
+		w <<= 1
+		if off+i < flat.Len() && flat.Get(off+i) == tritvec.One {
+			w |= 1
+		}
+	}
+	return w
+}
+
+// Compress encodes ts with block size k and dictionary size d.
+func Compress(ts *testset.TestSet, k, d int) (*Result, error) {
+	if k < 1 || k > 62 {
+		return nil, fmt.Errorf("selhuff: block size %d out of range", k)
+	}
+	if d < 1 {
+		return nil, fmt.Errorf("selhuff: dictionary size %d out of range", d)
+	}
+	flat := runlength.ZeroFill(ts)
+	nblocks := (flat.Len() + k - 1) / k
+	freq := make(map[uint64]int)
+	words := make([]uint64, nblocks)
+	for b := 0; b < nblocks; b++ {
+		w := blockWord(flat, b*k, k)
+		words[b] = w
+		freq[w]++
+	}
+	type pf struct {
+		w uint64
+		f int
+	}
+	all := make([]pf, 0, len(freq))
+	for w, f := range freq {
+		all = append(all, pf{w, f})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].f != all[j].f {
+			return all[i].f > all[j].f
+		}
+		return all[i].w < all[j].w
+	})
+	if d > len(all) {
+		d = len(all)
+	}
+	dict := make([]uint64, d)
+	index := make(map[uint64]int, d)
+	freqs := make([]int, d)
+	for i := 0; i < d; i++ {
+		dict[i] = all[i].w
+		index[all[i].w] = i
+		freqs[i] = all[i].f
+	}
+	code, err := huffman.Build(freqs)
+	if err != nil {
+		return nil, err
+	}
+	w := bitstream.NewWriter()
+	for _, word := range words {
+		if sym, ok := index[word]; ok {
+			w.WriteBit(1)
+			w.WriteBits(code.Words[sym], code.Lengths[sym])
+		} else {
+			w.WriteBit(0)
+			w.WriteBits(word, k)
+		}
+	}
+	return &Result{
+		K: k, D: d,
+		OriginalBits:   ts.TotalBits(),
+		CompressedBits: w.Len(),
+		Stream:         w,
+		Dictionary:     dict,
+		Code:           code,
+	}, nil
+}
+
+// Decompress reconstructs totalBits bits using the result's dictionary.
+func Decompress(r *bitstream.Reader, res *Result, totalBits int) (tritvec.Vector, error) {
+	dec, err := huffman.NewDecoder(res.Code)
+	if err != nil {
+		return tritvec.Vector{}, err
+	}
+	out := tritvec.New(totalBits)
+	pos := 0
+	for pos < totalBits {
+		flag, err := r.ReadBit()
+		if err != nil {
+			return tritvec.Vector{}, err
+		}
+		var word uint64
+		if flag == 1 {
+			sym, err := dec.Decode(r.ReadBit)
+			if err != nil {
+				return tritvec.Vector{}, err
+			}
+			word = res.Dictionary[sym]
+		} else {
+			word, err = r.ReadBits(res.K)
+			if err != nil {
+				return tritvec.Vector{}, err
+			}
+		}
+		for i := res.K - 1; i >= 0 && pos < totalBits; i-- {
+			if word>>uint(i)&1 == 1 {
+				out.Set(pos, tritvec.One)
+			} else {
+				out.Set(pos, tritvec.Zero)
+			}
+			pos++
+		}
+	}
+	return out, nil
+}

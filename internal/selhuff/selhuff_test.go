@@ -1,0 +1,120 @@
+package selhuff
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitstream"
+	"repro/internal/runlength"
+	"repro/internal/testset"
+	"repro/internal/tritvec"
+)
+
+func TestRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 20; iter++ {
+		ts := testset.Random(16, 30, r.Float64()*0.5, r)
+		res, err := Compress(ts, 8, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := Decompress(bitstream.FromWriter(res.Stream), res, ts.TotalBits())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := runlength.Verify(ts, dec); err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+	}
+}
+
+func TestSkewedDataCompresses(t *testing.T) {
+	// Heavily repeated blocks must land in the dictionary and compress.
+	ts := testset.New(8)
+	r := rand.New(rand.NewSource(8))
+	for i := 0; i < 100; i++ {
+		if r.Intn(10) == 0 {
+			p := tritvec.New(8)
+			p.FillRandom(r)
+			ts.Add(p)
+		} else {
+			ts.Add(tritvec.MustFromString("00000000"))
+		}
+	}
+	res, err := Compress(ts, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RatePercent() < 50 {
+		t.Fatalf("rate=%.1f%% on 90%% repeated blocks", res.RatePercent())
+	}
+}
+
+func TestDictionaryLargerThanPatterns(t *testing.T) {
+	ts, _ := testset.ParseStrings("0000", "0000")
+	res, err := Compress(ts, 4, 100) // only one distinct block exists
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.D != 1 {
+		t.Fatalf("D=%d want clamped to 1", res.D)
+	}
+	dec, err := Decompress(bitstream.FromWriter(res.Stream), res, ts.TotalBits())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := runlength.Verify(ts, dec); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPartialFinalBlock(t *testing.T) {
+	// totalBits not a multiple of K.
+	ts, _ := testset.ParseStrings("10101") // 5 bits, K=4
+	res, err := Compress(ts, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Decompress(bitstream.FromWriter(res.Stream), res, ts.TotalBits())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := runlength.Verify(ts, dec); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBadParams(t *testing.T) {
+	ts, _ := testset.ParseStrings("01")
+	if _, err := Compress(ts, 0, 1); err == nil {
+		t.Fatal("K=0 accepted")
+	}
+	if _, err := Compress(ts, 63, 1); err == nil {
+		t.Fatal("K=63 accepted")
+	}
+	if _, err := Compress(ts, 4, 0); err == nil {
+		t.Fatal("D=0 accepted")
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ts := testset.Random(r.Intn(20)+1, r.Intn(30)+1, r.Float64(), r)
+		k := r.Intn(10) + 2
+		d := r.Intn(8) + 1
+		res, err := Compress(ts, k, d)
+		if err != nil {
+			return false
+		}
+		dec, err := Decompress(bitstream.FromWriter(res.Stream), res, ts.TotalBits())
+		if err != nil {
+			return false
+		}
+		return runlength.Verify(ts, dec) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

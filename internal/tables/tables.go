@@ -1,0 +1,251 @@
+// Package tables regenerates the paper's experimental exhibits: Table 1
+// (stuck-at test sets) and Table 2 (path-delay test sets), each comparing
+// 9C, 9C+HC and the EA compressor, plus the (K,L) sweep behind the
+// EA-Best column and the ablation studies listed in DESIGN.md.
+package tables
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/ea"
+	"repro/internal/iscasgen"
+	"repro/internal/ninec"
+	"repro/internal/testset"
+)
+
+// Config controls an experiment run.
+type Config struct {
+	// MaxBits caps per-circuit test-set size (0 = full paper sizes; the
+	// two largest path-delay sets are then 36M and 81M bits).
+	MaxBits int
+	// Seed drives test-set generation and the EA.
+	Seed int64
+	// Runs is the number of EA runs averaged per circuit (paper: 5).
+	Runs int
+	// Generations / NoImprove bound each EA run (paper: 500 generations
+	// without improvement for Table 2).
+	Generations int
+	NoImprove   int
+	// Sweep enables the EA-Best column's (K,L) sweep for Table 1.
+	Sweep bool
+	// SweepKs/SweepLs configure the sweep grid.
+	SweepKs, SweepLs []int
+	// Circuits restricts the run to the named circuits (nil = all).
+	Circuits []string
+}
+
+// QuickConfig returns a configuration sized for CI-scale runs: scaled
+// test sets and a reduced-but-real EA budget.
+func QuickConfig(seed int64) Config {
+	return Config{
+		MaxBits:     24000,
+		Seed:        seed,
+		Runs:        2,
+		Generations: 60,
+		NoImprove:   25,
+		Sweep:       true,
+		SweepKs:     []int{8, 12},
+		SweepLs:     []int{16, 64},
+	}
+}
+
+// FullConfig returns the paper's configuration (expensive: hours).
+func FullConfig(seed int64) Config {
+	return Config{
+		Seed:        seed,
+		Runs:        5,
+		Generations: 5000,
+		NoImprove:   500,
+		Sweep:       true,
+		SweepKs:     []int{4, 6, 8, 10, 12, 16},
+		SweepLs:     []int{9, 16, 32, 64, 128},
+	}
+}
+
+// Row is one circuit's measured results next to the paper's numbers.
+type Row struct {
+	Meta iscasgen.Meta
+	Bits int // generated test-set size actually used
+
+	R9C   float64 // measured 9C (K=8)
+	R9CHC float64 // measured 9C+HC (K=8)
+	REA   float64 // measured EA  (Table 1: K=12,L=64; Table 2: K=8,L=9)
+	REA2  float64 // measured EA-Best (Table 1 sweep) / EA2 (Table 2: K=12,L=64)
+}
+
+func (c Config) eaParams(k, l int, seed int64) core.Params {
+	p := core.Params{
+		K:         k,
+		L:         l,
+		EA:        ea.DefaultConfig(seed),
+		ForceAllU: true,
+		Runs:      c.Runs,
+	}
+	if p.Runs <= 0 {
+		p.Runs = 2
+	}
+	if c.Generations > 0 {
+		p.EA.MaxGenerations = c.Generations
+	}
+	if c.NoImprove > 0 {
+		p.EA.MaxNoImprove = c.NoImprove
+	}
+	return p
+}
+
+func (c Config) wants(name string) bool {
+	if len(c.Circuits) == 0 {
+		return true
+	}
+	for _, n := range c.Circuits {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// runRow measures all columns for one circuit.
+func (c Config) runRow(m iscasgen.Meta, ts *testset.TestSet) (Row, error) {
+	row := Row{Meta: m, Bits: ts.TotalBits()}
+	nine, err := ninec.Compress(ts, 8)
+	if err != nil {
+		return row, fmt.Errorf("%s: 9C: %v", m.Name, err)
+	}
+	row.R9C = nine.RatePercent()
+	hc, err := ninec.CompressHC(ts, 8)
+	if err != nil {
+		return row, fmt.Errorf("%s: 9C+HC: %v", m.Name, err)
+	}
+	row.R9CHC = hc.RatePercent()
+
+	if m.Kind == iscasgen.StuckAt {
+		res, err := core.Compress(ts, c.eaParams(12, 64, c.Seed))
+		if err != nil {
+			return row, fmt.Errorf("%s: EA: %v", m.Name, err)
+		}
+		row.REA = res.AverageRate
+		if c.Sweep {
+			base := c.eaParams(12, 64, c.Seed+1)
+			base.Runs = 1
+			_, best, err := core.Sweep(ts, base, c.SweepKs, c.SweepLs)
+			if err != nil {
+				return row, fmt.Errorf("%s: sweep: %v", m.Name, err)
+			}
+			row.REA2 = best.Rate
+			if res.BestRate > row.REA2 {
+				row.REA2 = res.BestRate
+			}
+		} else {
+			row.REA2 = res.BestRate
+		}
+		return row, nil
+	}
+
+	// Path delay: EA1 (K=8, L=9) and EA2 (K=12, L=64).
+	res1, err := core.Compress(ts, c.eaParams(8, 9, c.Seed))
+	if err != nil {
+		return row, fmt.Errorf("%s: EA1: %v", m.Name, err)
+	}
+	row.REA = res1.AverageRate
+	res2, err := core.Compress(ts, c.eaParams(12, 64, c.Seed))
+	if err != nil {
+		return row, fmt.Errorf("%s: EA2: %v", m.Name, err)
+	}
+	row.REA2 = res2.AverageRate
+	return row, nil
+}
+
+// Run executes the experiment for one registry table.
+func Run(metas []iscasgen.Meta, c Config) ([]Row, error) {
+	var rows []Row
+	for _, m := range metas {
+		if !c.wants(m.Name) {
+			continue
+		}
+		ts, err := iscasgen.Generate(m, iscasgen.GenOptions{MaxBits: c.MaxBits, Seed: c.Seed})
+		if err != nil {
+			return nil, err
+		}
+		row, err := c.runRow(m, ts)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RunTable1 regenerates Table 1 (stuck-at).
+func RunTable1(c Config) ([]Row, error) { return Run(iscasgen.Table1(), c) }
+
+// RunTable2 regenerates Table 2 (path delay).
+func RunTable2(c Config) ([]Row, error) { return Run(iscasgen.Table2(), c) }
+
+// Averages returns the column means over rows.
+func Averages(rows []Row) (r9c, r9chc, rea, rea2 float64) {
+	if len(rows) == 0 {
+		return
+	}
+	for _, r := range rows {
+		r9c += r.R9C
+		r9chc += r.R9CHC
+		rea += r.REA
+		rea2 += r.REA2
+	}
+	n := float64(len(rows))
+	return r9c / n, r9chc / n, rea / n, rea2 / n
+}
+
+// Format renders rows in the paper's table layout, with the published
+// numbers alongside for comparison.
+func Format(rows []Row, kind iscasgen.Kind) string {
+	var sb strings.Builder
+	col3, col4 := "EA", "EA-Best"
+	if kind == iscasgen.PathDelay {
+		col3, col4 = "EA1", "EA2"
+	}
+	fmt.Fprintf(&sb, "%-8s %10s | %7s %7s %7s %7s | %7s %7s %7s %7s\n",
+		"Circuit", "Bits", "9C", "9C+HC", col3, col4,
+		"p:9C", "p:9CHC", "p:"+col3, "p:"+col4)
+	fmt.Fprintf(&sb, "%s\n", strings.Repeat("-", 100))
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-8s %10d | %6.1f%% %6.1f%% %6.1f%% %6.1f%% | %6.1f%% %6.1f%% %6.1f%% %6.1f%%\n",
+			r.Meta.Name, r.Bits, r.R9C, r.R9CHC, r.REA, r.REA2,
+			r.Meta.Paper9C, r.Meta.Paper9CHC, r.Meta.PaperEA, r.Meta.PaperEA2)
+	}
+	a, b, c, d := Averages(rows)
+	var pa, pb, pc, pd float64
+	if kind == iscasgen.PathDelay {
+		pa, pb, pc, pd = iscasgen.Table2Averages()
+	} else {
+		pa, pb, pc, pd = iscasgen.Table1Averages()
+	}
+	fmt.Fprintf(&sb, "%s\n", strings.Repeat("-", 100))
+	fmt.Fprintf(&sb, "%-8s %10s | %6.1f%% %6.1f%% %6.1f%% %6.1f%% | %6.1f%% %6.1f%% %6.1f%% %6.1f%%\n",
+		"Average", "", a, b, c, d, pa, pb, pc, pd)
+	return sb.String()
+}
+
+// ShapeCheck verifies the paper's qualitative findings on measured rows:
+// (1) Huffman codewords improve on the fixed 9C code on average,
+// (2) the EA improves on 9C+HC on average,
+// (3) the second EA configuration is at least about as good as the first
+// on average. It returns a list of violated properties (empty = shape
+// reproduced).
+func ShapeCheck(rows []Row) []string {
+	a, b, c, d := Averages(rows)
+	var bad []string
+	if b < a {
+		bad = append(bad, fmt.Sprintf("9C+HC average %.1f%% below 9C %.1f%%", b, a))
+	}
+	if c <= b {
+		bad = append(bad, fmt.Sprintf("EA average %.1f%% not above 9C+HC %.1f%%", c, b))
+	}
+	if d < c-1.0 {
+		bad = append(bad, fmt.Sprintf("EA-Best/EA2 average %.1f%% below EA %.1f%%", d, c))
+	}
+	return bad
+}

@@ -1,0 +1,124 @@
+package tables
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/iscasgen"
+)
+
+// smallConfig keeps unit-test runtime low while exercising the full path.
+func smallConfig() Config {
+	return Config{
+		MaxBits:     6000,
+		Seed:        1,
+		Runs:        1,
+		Generations: 25,
+		NoImprove:   10,
+		Sweep:       false,
+	}
+}
+
+func TestRunSubsetTable1(t *testing.T) {
+	c := smallConfig()
+	c.Circuits = []string{"s349", "s386"}
+	rows, err := RunTable1(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows=%d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Bits == 0 || r.Bits > 6000 {
+			t.Fatalf("%s: bits=%d", r.Meta.Name, r.Bits)
+		}
+		if r.REA2 < r.REA-5 {
+			t.Errorf("%s: EA-Best %.1f far below EA %.1f", r.Meta.Name, r.REA2, r.REA)
+		}
+	}
+}
+
+func TestRunSubsetTable2(t *testing.T) {
+	c := smallConfig()
+	c.Circuits = []string{"s27", "s298"}
+	rows, err := RunTable2(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows=%d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Meta.Kind != iscasgen.PathDelay {
+			t.Fatal("wrong kind in table 2 row")
+		}
+	}
+}
+
+func TestSweepColumn(t *testing.T) {
+	c := smallConfig()
+	c.Sweep = true
+	c.SweepKs = []int{8}
+	c.SweepLs = []int{16}
+	c.Circuits = []string{"s344"}
+	rows, err := RunTable1(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0].REA2 < rows[0].REA-1e-9 {
+		t.Fatalf("sweep best %.2f below EA average %.2f", rows[0].REA2, rows[0].REA)
+	}
+}
+
+func TestFormat(t *testing.T) {
+	c := smallConfig()
+	c.Circuits = []string{"s349"}
+	rows, err := RunTable1(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Format(rows, iscasgen.StuckAt)
+	if !strings.Contains(out, "s349") || !strings.Contains(out, "Average") {
+		t.Fatalf("format output missing content:\n%s", out)
+	}
+	out2 := Format(rows, iscasgen.PathDelay)
+	if !strings.Contains(out2, "EA1") {
+		t.Fatal("path-delay format must use EA1/EA2 column names")
+	}
+}
+
+func TestAveragesEmpty(t *testing.T) {
+	a, b, c, d := Averages(nil)
+	if a != 0 || b != 0 || c != 0 || d != 0 {
+		t.Fatal("empty averages must be zero")
+	}
+}
+
+func TestShapeCheckOnMeasuredSubset(t *testing.T) {
+	// A small but diverse circuit subset must reproduce the paper's
+	// qualitative ordering 9C <= 9C+HC < EA.
+	c := smallConfig()
+	c.Runs = 2
+	c.Generations = 50
+	c.NoImprove = 20
+	c.Circuits = []string{"s349", "s298", "s444", "s386"}
+	rows, err := RunTable1(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad := ShapeCheck(rows); len(bad) != 0 {
+		t.Fatalf("paper shape violated: %v\n%s", bad, Format(rows, iscasgen.StuckAt))
+	}
+}
+
+func TestConfigs(t *testing.T) {
+	q := QuickConfig(1)
+	if q.Runs <= 0 || q.MaxBits <= 0 {
+		t.Fatal("bad quick config")
+	}
+	f := FullConfig(1)
+	if f.MaxBits != 0 || f.Runs != 5 || f.NoImprove != 500 {
+		t.Fatal("full config must use the paper's parameters")
+	}
+}

@@ -1,0 +1,137 @@
+package testset
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/tritvec"
+)
+
+// Binary format: the text format costs one byte per trit, which is
+// unwieldy for the registry's multi-megabit path-delay sets. The binary
+// format packs two bits per trit (00=X, 01=0, 10=1) behind a small
+// header.
+//
+// Layout (big-endian): magic "TSET", version uint8 (1), width uint32,
+// patterns uint32, then ceil(width*patterns*2/8) payload bytes in
+// pattern-major order.
+
+var binMagic = [4]byte{'T', 'S', 'E', 'T'}
+
+// WriteBinary emits the packed binary format.
+func (ts *TestSet) WriteBinary(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(binMagic[:]); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.BigEndian, uint8(1)); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.BigEndian, uint32(ts.Width)); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.BigEndian, uint32(len(ts.Patterns))); err != nil {
+		return err
+	}
+	var cur byte
+	nbits := 0
+	flushBit := func(code byte) error {
+		cur |= code << uint(6-nbits)
+		nbits += 2
+		if nbits == 8 {
+			if err := bw.WriteByte(cur); err != nil {
+				return err
+			}
+			cur, nbits = 0, 0
+		}
+		return nil
+	}
+	for _, p := range ts.Patterns {
+		for i := 0; i < p.Len(); i++ {
+			var code byte
+			switch p.Get(i) {
+			case tritvec.Zero:
+				code = 1
+			case tritvec.One:
+				code = 2
+			}
+			if err := flushBit(code); err != nil {
+				return err
+			}
+		}
+	}
+	if nbits > 0 {
+		if err := bw.WriteByte(cur); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary parses the packed binary format.
+func ReadBinary(r io.Reader) (*TestSet, error) {
+	br := bufio.NewReader(r)
+	var m [4]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, err
+	}
+	if m != binMagic {
+		return nil, fmt.Errorf("testset: bad binary magic %q", m)
+	}
+	var version uint8
+	var width, patterns uint32
+	if err := binary.Read(br, binary.BigEndian, &version); err != nil {
+		return nil, err
+	}
+	if version != 1 {
+		return nil, fmt.Errorf("testset: unsupported binary version %d", version)
+	}
+	if err := binary.Read(br, binary.BigEndian, &width); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(br, binary.BigEndian, &patterns); err != nil {
+		return nil, err
+	}
+	if width == 0 || width > 1<<24 || patterns > 1<<28 {
+		return nil, fmt.Errorf("testset: implausible binary dimensions %dx%d", width, patterns)
+	}
+	total := int(width) * int(patterns)
+	payload := make([]byte, (2*total+7)/8)
+	if _, err := io.ReadFull(br, payload); err != nil {
+		return nil, err
+	}
+	ts := New(int(width))
+	bit := 0
+	for p := 0; p < int(patterns); p++ {
+		v := tritvec.New(int(width))
+		for i := 0; i < int(width); i++ {
+			code := payload[bit/8] >> uint(6-bit%8) & 3
+			switch code {
+			case 1:
+				v.Set(i, tritvec.Zero)
+			case 2:
+				v.Set(i, tritvec.One)
+			case 0:
+				// X
+			default:
+				return nil, fmt.Errorf("testset: invalid trit code %d at position %d", code, bit/2)
+			}
+			bit += 2
+		}
+		ts.Add(v)
+	}
+	return ts, nil
+}
+
+// ReadAuto sniffs the format: binary if the stream starts with the
+// binary magic, text otherwise.
+func ReadAuto(r io.Reader) (*TestSet, error) {
+	br := bufio.NewReader(r)
+	head, err := br.Peek(4)
+	if err == nil && len(head) == 4 && [4]byte{head[0], head[1], head[2], head[3]} == binMagic {
+		return ReadBinary(br)
+	}
+	return Read(br)
+}

@@ -1,0 +1,109 @@
+package testset
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBinaryRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	ts := Random(37, 53, 0.4, r) // deliberately non-byte-aligned width
+	var buf bytes.Buffer
+	if err := ts.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Width != ts.Width || back.NumPatterns() != ts.NumPatterns() {
+		t.Fatal("dimensions changed")
+	}
+	for i := range ts.Patterns {
+		if !ts.Patterns[i].Equal(back.Patterns[i]) {
+			t.Fatalf("pattern %d differs", i)
+		}
+	}
+}
+
+func TestBinarySmallerThanText(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	ts := Random(100, 100, 0.3, r)
+	var txt, bin bytes.Buffer
+	if err := ts.Write(&txt); err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.WriteBinary(&bin); err != nil {
+		t.Fatal(err)
+	}
+	if bin.Len()*3 > txt.Len() {
+		t.Fatalf("binary %d bytes not ~4x smaller than text %d bytes", bin.Len(), txt.Len())
+	}
+}
+
+func TestBinaryErrors(t *testing.T) {
+	if _, err := ReadBinary(bytes.NewReader([]byte("XXXX"))); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	if _, err := ReadBinary(bytes.NewReader([]byte("TSET"))); err == nil {
+		t.Fatal("truncated header accepted")
+	}
+	// Bad version.
+	raw := append([]byte("TSET"), 9, 0, 0, 0, 1, 0, 0, 0, 1, 0)
+	if _, err := ReadBinary(bytes.NewReader(raw)); err == nil {
+		t.Fatal("bad version accepted")
+	}
+	// Truncated payload.
+	var buf bytes.Buffer
+	ts := Random(64, 4, 0.5, rand.New(rand.NewSource(3)))
+	if err := ts.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	short := buf.Bytes()[:buf.Len()-3]
+	if _, err := ReadBinary(bytes.NewReader(short)); err == nil {
+		t.Fatal("truncated payload accepted")
+	}
+}
+
+func TestReadAutoSniffing(t *testing.T) {
+	ts, _ := ParseStrings("01XX", "1111")
+	var txt, bin bytes.Buffer
+	if err := ts.Write(&txt); err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.WriteBinary(&bin); err != nil {
+		t.Fatal(err)
+	}
+	fromTxt, err := ReadAuto(&txt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromBin, err := ReadAuto(&bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fromTxt.Compatible(fromBin) || !fromBin.Compatible(fromTxt) {
+		t.Fatal("auto-sniffed formats disagree")
+	}
+}
+
+func TestQuickBinaryRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ts := Random(r.Intn(50)+1, r.Intn(40)+1, r.Float64(), r)
+		var buf bytes.Buffer
+		if err := ts.WriteBinary(&buf); err != nil {
+			return false
+		}
+		back, err := ReadBinary(&buf)
+		if err != nil {
+			return false
+		}
+		return ts.Compatible(back) && back.Compatible(ts)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

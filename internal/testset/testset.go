@@ -1,0 +1,239 @@
+// Package testset represents scan test sets: T patterns of n trits each
+// over {0,1,X}, exactly as in Section 2 of the paper. The whole test set is
+// viewed as one string t1…t_{T·n} and partitioned into fixed-length input
+// blocks by the blockcode package.
+package testset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+
+	"repro/internal/tritvec"
+)
+
+// TestSet is an ordered collection of equal-width test patterns.
+type TestSet struct {
+	// Width is the number of circuit inputs n (trits per pattern).
+	Width int
+	// Patterns holds the T test patterns, each of length Width.
+	Patterns []tritvec.Vector
+}
+
+// New returns an empty test set for circuits with n inputs.
+func New(n int) *TestSet {
+	if n <= 0 {
+		panic("testset: width must be positive")
+	}
+	return &TestSet{Width: n}
+}
+
+// Add appends a pattern; its length must equal the test set width.
+func (ts *TestSet) Add(p tritvec.Vector) {
+	if p.Len() != ts.Width {
+		panic(fmt.Sprintf("testset: pattern length %d != width %d", p.Len(), ts.Width))
+	}
+	ts.Patterns = append(ts.Patterns, p)
+}
+
+// NumPatterns returns T.
+func (ts *TestSet) NumPatterns() int { return len(ts.Patterns) }
+
+// TotalBits returns T·n, the original (uncompressed) test set size in bits.
+// X positions count as one bit each, as in the paper's compression-rate
+// definition.
+func (ts *TestSet) TotalBits() int { return ts.Width * len(ts.Patterns) }
+
+// Flatten concatenates all patterns into the test set string t1…t_{T·n}.
+func (ts *TestSet) Flatten() tritvec.Vector {
+	out := tritvec.New(ts.TotalBits())
+	for i, p := range ts.Patterns {
+		out.CopyFrom(p, i*ts.Width)
+	}
+	return out
+}
+
+// FromFlat splits a flat string back into patterns of the given width. The
+// string length must be a multiple of width.
+func FromFlat(flat tritvec.Vector, width int) (*TestSet, error) {
+	if width <= 0 || flat.Len()%width != 0 {
+		return nil, fmt.Errorf("testset: flat length %d not a multiple of width %d", flat.Len(), width)
+	}
+	ts := New(width)
+	for off := 0; off < flat.Len(); off += width {
+		ts.Add(flat.Slice(off, off+width))
+	}
+	return ts, nil
+}
+
+// SpecifiedBits returns the number of specified (0/1) positions.
+func (ts *TestSet) SpecifiedBits() int {
+	n := 0
+	for _, p := range ts.Patterns {
+		n += p.CountSpecified()
+	}
+	return n
+}
+
+// CareDensity returns the fraction of specified bits, in [0,1].
+func (ts *TestSet) CareDensity() float64 {
+	if ts.TotalBits() == 0 {
+		return 0
+	}
+	return float64(ts.SpecifiedBits()) / float64(ts.TotalBits())
+}
+
+// Clone returns a deep copy.
+func (ts *TestSet) Clone() *TestSet {
+	out := New(ts.Width)
+	for _, p := range ts.Patterns {
+		out.Add(p.Clone())
+	}
+	return out
+}
+
+// Compatible reports whether other preserves every specified bit of ts
+// (same dimensions, and each pattern of ts subsumes the corresponding
+// pattern of other). This is the acceptance criterion after
+// decompress(compress(ts)).
+func (ts *TestSet) Compatible(other *TestSet) bool {
+	if other == nil || ts.Width != other.Width || len(ts.Patterns) != len(other.Patterns) {
+		return false
+	}
+	for i, p := range ts.Patterns {
+		if !p.Subsumes(other.Patterns[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Write emits the textual format: a header line "width T", then one line of
+// trit characters per pattern.
+func (ts *TestSet) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%d %d\n", ts.Width, len(ts.Patterns)); err != nil {
+		return err
+	}
+	for _, p := range ts.Patterns {
+		if _, err := bw.WriteString(p.String()); err != nil {
+			return err
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses the textual format produced by Write. Blank lines and lines
+// starting with '#' are ignored.
+func Read(r io.Reader) (*TestSet, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	var ts *TestSet
+	wantT := 0
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if ts == nil {
+			var n, t int
+			if _, err := fmt.Sscanf(line, "%d %d", &n, &t); err != nil {
+				return nil, fmt.Errorf("testset: bad header %q: %v", line, err)
+			}
+			if n <= 0 || t < 0 {
+				return nil, fmt.Errorf("testset: invalid header %q", line)
+			}
+			ts = New(n)
+			wantT = t
+			continue
+		}
+		v, err := tritvec.FromString(line)
+		if err != nil {
+			return nil, err
+		}
+		if v.Len() != ts.Width {
+			return nil, fmt.Errorf("testset: pattern length %d != width %d", v.Len(), ts.Width)
+		}
+		ts.Add(v)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if ts == nil {
+		return nil, fmt.Errorf("testset: empty input")
+	}
+	if len(ts.Patterns) != wantT {
+		return nil, fmt.Errorf("testset: header promised %d patterns, got %d", wantT, len(ts.Patterns))
+	}
+	return ts, nil
+}
+
+// ParseStrings builds a test set from pattern strings (testing helper).
+func ParseStrings(patterns ...string) (*TestSet, error) {
+	if len(patterns) == 0 {
+		return nil, fmt.Errorf("testset: no patterns")
+	}
+	ts := New(len(patterns[0]))
+	for _, s := range patterns {
+		v, err := tritvec.FromString(s)
+		if err != nil {
+			return nil, err
+		}
+		if v.Len() != ts.Width {
+			return nil, fmt.Errorf("testset: ragged pattern %q", s)
+		}
+		ts.Add(v)
+	}
+	return ts, nil
+}
+
+// Random returns a test set with each trit drawn independently:
+// P(specified)=density, then 0/1 uniform. Deterministic given r.
+func Random(width, patterns int, density float64, r *rand.Rand) *TestSet {
+	ts := New(width)
+	for i := 0; i < patterns; i++ {
+		p := tritvec.New(width)
+		for j := 0; j < width; j++ {
+			if r.Float64() < density {
+				if r.Intn(2) == 0 {
+					p.Set(j, tritvec.Zero)
+				} else {
+					p.Set(j, tritvec.One)
+				}
+			}
+		}
+		ts.Add(p)
+	}
+	return ts
+}
+
+// Stats summarizes a test set.
+type Stats struct {
+	Width       int
+	Patterns    int
+	TotalBits   int
+	Specified   int
+	CareDensity float64
+}
+
+// Summary computes Stats for ts.
+func (ts *TestSet) Summary() Stats {
+	return Stats{
+		Width:       ts.Width,
+		Patterns:    len(ts.Patterns),
+		TotalBits:   ts.TotalBits(),
+		Specified:   ts.SpecifiedBits(),
+		CareDensity: ts.CareDensity(),
+	}
+}
+
+// String renders the stats compactly.
+func (s Stats) String() string {
+	return fmt.Sprintf("width=%d patterns=%d bits=%d specified=%d density=%.3f",
+		s.Width, s.Patterns, s.TotalBits, s.Specified, s.CareDensity)
+}

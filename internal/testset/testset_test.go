@@ -1,0 +1,187 @@
+package testset
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tritvec"
+)
+
+func TestAddFlatten(t *testing.T) {
+	ts := New(3)
+	ts.Add(tritvec.MustFromString("01X"))
+	ts.Add(tritvec.MustFromString("1X0"))
+	if ts.NumPatterns() != 2 || ts.TotalBits() != 6 {
+		t.Fatalf("T=%d bits=%d", ts.NumPatterns(), ts.TotalBits())
+	}
+	if got := ts.Flatten().String(); got != "01X1X0" {
+		t.Fatalf("Flatten=%q", got)
+	}
+}
+
+func TestFromFlat(t *testing.T) {
+	flat := tritvec.MustFromString("01X1X0")
+	ts, err := FromFlat(flat, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts.NumPatterns() != 2 || ts.Patterns[1].String() != "1X0" {
+		t.Fatal("FromFlat mismatch")
+	}
+	if _, err := FromFlat(flat, 4); err == nil {
+		t.Fatal("expected error for non-divisor width")
+	}
+}
+
+func TestDensity(t *testing.T) {
+	ts, err := ParseStrings("01X", "XXX")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts.SpecifiedBits() != 2 {
+		t.Fatalf("SpecifiedBits=%d", ts.SpecifiedBits())
+	}
+	if d := ts.CareDensity(); d < 0.33 || d > 0.34 {
+		t.Fatalf("CareDensity=%f", d)
+	}
+}
+
+func TestWriteRead(t *testing.T) {
+	ts, err := ParseStrings("01XX10", "111111", "XXXXXX")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ts.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Width != ts.Width || got.NumPatterns() != ts.NumPatterns() {
+		t.Fatal("dimension mismatch after round trip")
+	}
+	for i := range ts.Patterns {
+		if !ts.Patterns[i].Equal(got.Patterns[i]) {
+			t.Fatalf("pattern %d differs", i)
+		}
+	}
+}
+
+func TestReadComments(t *testing.T) {
+	in := "# comment\n\n2 2\n01\n# interleaved\nX1\n"
+	ts, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts.NumPatterns() != 2 {
+		t.Fatalf("patterns=%d", ts.NumPatterns())
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []string{
+		"",           // empty
+		"bogus\n",    // bad header
+		"2 2\n01\n",  // wrong count
+		"2 1\n012\n", // wrong width (also invalid char)
+		"2 1\n0Z\n",  // invalid char
+		"0 1\n\n",    // zero width
+		"2 1\n011\n", // length mismatch
+	}
+	for _, in := range cases {
+		if _, err := Read(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q: expected error", in)
+		}
+	}
+}
+
+func TestCompatible(t *testing.T) {
+	a, _ := ParseStrings("01X", "X1X")
+	b, _ := ParseStrings("010", "110")
+	if !a.Compatible(b) {
+		t.Fatal("specified-preserving fill must be compatible")
+	}
+	c, _ := ParseStrings("000", "110")
+	if a.Compatible(c) {
+		t.Fatal("flipped specified bit accepted")
+	}
+	if a.Compatible(nil) {
+		t.Fatal("nil accepted")
+	}
+	d, _ := ParseStrings("010")
+	if a.Compatible(d) {
+		t.Fatal("pattern count mismatch accepted")
+	}
+}
+
+func TestClone(t *testing.T) {
+	a, _ := ParseStrings("01X")
+	b := a.Clone()
+	b.Patterns[0].Set(0, tritvec.One)
+	if a.Patterns[0].Get(0) != tritvec.Zero {
+		t.Fatal("clone aliases original")
+	}
+}
+
+func TestRandomDeterministic(t *testing.T) {
+	a := Random(10, 20, 0.3, rand.New(rand.NewSource(42)))
+	b := Random(10, 20, 0.3, rand.New(rand.NewSource(42)))
+	if !a.Compatible(b) || !b.Compatible(a) {
+		t.Fatal("same seed should give identical test sets")
+	}
+	if a.TotalBits() != 200 {
+		t.Fatalf("bits=%d", a.TotalBits())
+	}
+	// density roughly honored
+	d := a.CareDensity()
+	if d < 0.1 || d > 0.5 {
+		t.Fatalf("density=%f far from 0.3", d)
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	ts, _ := ParseStrings("01XX")
+	s := ts.Summary()
+	if s.Width != 4 || s.Patterns != 1 || s.TotalBits != 4 || s.Specified != 2 {
+		t.Fatalf("summary %+v", s)
+	}
+	if !strings.Contains(s.String(), "width=4") {
+		t.Fatalf("Summary.String=%q", s.String())
+	}
+}
+
+func TestPanics(t *testing.T) {
+	mustPanic := func(f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic")
+			}
+		}()
+		f()
+	}
+	mustPanic(func() { New(0) })
+	mustPanic(func() { New(2).Add(tritvec.New(3)) })
+}
+
+func TestQuickFlattenRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		w := r.Intn(30) + 1
+		n := r.Intn(20) + 1
+		ts := Random(w, n, r.Float64(), r)
+		back, err := FromFlat(ts.Flatten(), w)
+		if err != nil {
+			return false
+		}
+		return ts.Compatible(back) && back.Compatible(ts)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,94 @@
+// Package tcomp is the public facade of the test-compression library: an
+// implementation of "Evolutionary Optimization in Code-Based Test
+// Compression" (Polian, Czutro, Becker; DATE 2005) together with the
+// substrates it depends on — ISCAS-style circuits, stuck-at ATPG with
+// don't-care maximization, robust path-delay test generation, the 9C
+// baseline, classical run-length-family coders, and an on-chip decoder
+// model.
+//
+// Quick start:
+//
+//	ts, _ := tcomp.ReadTestSet(file)
+//	res, _ := tcomp.CompressEA(ts, tcomp.DefaultEAParams(1))
+//	fmt.Printf("compression rate: %.1f%%\n", res.BestRate)
+//
+// See examples/ for end-to-end pipelines (ATPG → compression →
+// decompression → fault-coverage verification).
+package tcomp
+
+import (
+	"io"
+
+	"repro/internal/bitstream"
+	"repro/internal/blockcode"
+	"repro/internal/core"
+	"repro/internal/decoder"
+	"repro/internal/ninec"
+	"repro/internal/testset"
+	"repro/internal/tritvec"
+)
+
+// TestSet is a set of scan test patterns over {0,1,X}.
+type TestSet = testset.TestSet
+
+// Vector is a packed ternary vector.
+type Vector = tritvec.Vector
+
+// EAParams configures the evolutionary compressor.
+type EAParams = core.Params
+
+// EAResult is the outcome of evolutionary compression.
+type EAResult = core.Result
+
+// BlockResult is the outcome of a single fixed-MV-set compression.
+type BlockResult = blockcode.Result
+
+// NewTestSet returns an empty test set for circuits with n inputs.
+func NewTestSet(n int) *TestSet { return testset.New(n) }
+
+// ReadTestSet parses the textual test-set format (header "width count",
+// then one pattern of 0/1/X per line).
+func ReadTestSet(r io.Reader) (*TestSet, error) { return testset.Read(r) }
+
+// ParseTestSet builds a test set from pattern strings.
+func ParseTestSet(patterns ...string) (*TestSet, error) { return testset.ParseStrings(patterns...) }
+
+// DefaultEAParams returns the paper's default configuration: K=12, L=64,
+// S=10, C=5, crossover 30%, mutation 30%, inversion 10%, 5 runs, one MV
+// pinned to all-U.
+func DefaultEAParams(seed int64) EAParams { return core.DefaultParams(seed) }
+
+// CompressEA compresses ts with evolutionary MV optimization (the paper's
+// proposed method).
+func CompressEA(ts *TestSet, p EAParams) (*EAResult, error) { return core.Compress(ts, p) }
+
+// Compress9C compresses ts with the original nine-coded baseline
+// (Tehranipour et al., fixed codewords), block length k (even).
+func Compress9C(ts *TestSet, k int) (*BlockResult, error) { return ninec.Compress(ts, k) }
+
+// Compress9CHC compresses ts with the 9C matching vectors and Huffman
+// codewords ("9C+HC").
+func Compress9CHC(ts *TestSet, k int) (*BlockResult, error) { return ninec.CompressHC(ts, k) }
+
+// Decompress reconstructs the fully specified test set from a compression
+// result. The decoded patterns preserve every specified bit of the
+// original (don't-cares get concrete values).
+func Decompress(res *BlockResult, width int) (*TestSet, error) {
+	nblocks := (res.OriginalBits + res.Set.K - 1) / res.Set.K
+	blocks, err := blockcode.Decode(bitstream.FromWriter(res.Stream), res.Set, res.Code, nblocks)
+	if err != nil {
+		return nil, err
+	}
+	flat := tritvec.Concat(blocks...).Slice(0, res.OriginalBits)
+	return testset.FromFlat(flat, width)
+}
+
+// VerifyLossless checks that decoded preserves every specified bit of
+// original.
+func VerifyLossless(original, decoded *TestSet) bool { return original.Compatible(decoded) }
+
+// NewDecoderFSM synthesizes the on-chip decoder model for a compression
+// result.
+func NewDecoderFSM(res *BlockResult) (*decoder.FSM, error) {
+	return decoder.New(res.Set, res.Code)
+}

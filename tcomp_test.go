@@ -1,0 +1,90 @@
+package tcomp
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/testset"
+)
+
+func exampleTestSet(t *testing.T, seed int64) *TestSet {
+	t.Helper()
+	return testset.Random(24, 50, 0.25, rand.New(rand.NewSource(seed)))
+}
+
+func quickEAParams(seed int64) EAParams {
+	p := DefaultEAParams(seed)
+	p.Runs = 1
+	p.EA.MaxGenerations = 30
+	p.EA.MaxNoImprove = 15
+	return p
+}
+
+func TestFacadeEndToEnd(t *testing.T) {
+	ts := exampleTestSet(t, 1)
+	res, err := CompressEA(ts, quickEAParams(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Decompress(res.Final, ts.Width)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !VerifyLossless(ts, dec) {
+		t.Fatal("EA round trip lost specified bits")
+	}
+}
+
+func TestFacade9CEndToEnd(t *testing.T) {
+	ts := exampleTestSet(t, 2)
+	for _, compress := range []func(*TestSet, int) (*BlockResult, error){Compress9C, Compress9CHC} {
+		res, err := compress(ts, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := Decompress(res, ts.Width)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !VerifyLossless(ts, dec) {
+			t.Fatal("9C round trip lost specified bits")
+		}
+	}
+}
+
+func TestFacadeIO(t *testing.T) {
+	ts, err := ParseTestSet("01XX10", "111000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ts.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTestSet(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !VerifyLossless(ts, back) || !VerifyLossless(back, ts) {
+		t.Fatal("I/O round trip changed test set")
+	}
+	if NewTestSet(4).Width != 4 {
+		t.Fatal("NewTestSet width")
+	}
+}
+
+func TestFacadeDecoderFSM(t *testing.T) {
+	ts := exampleTestSet(t, 3)
+	res, err := Compress9CHC(ts, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fsm, err := NewDecoderFSM(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fsm.Area().GateEquivalents <= 0 {
+		t.Fatal("decoder area must be positive")
+	}
+}
