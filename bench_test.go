@@ -8,7 +8,9 @@
 package tcomp
 
 import (
+	"context"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"repro/internal/blockcode"
@@ -136,6 +138,42 @@ func BenchmarkSweepKL(b *testing.B) {
 	b.ReportMetric(best.Rate, "bestrate%")
 	b.ReportMetric(best.Rate-worst, "spread%")
 }
+
+// benchmarkSweepWorkers times the (K,L) sweep at a fixed pipeline worker
+// count. EA-internal parallelism is pinned to 1 so the comparison
+// isolates job-level sharding; the work is bit-for-bit identical at
+// every worker count (see core.SweepCtx), so Serial vs Parallel is a
+// pure wall-clock comparison.
+func benchmarkSweepWorkers(b *testing.B, workers int) {
+	m, err := iscasgen.Find("s298", iscasgen.StuckAt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts, err := iscasgen.Generate(m, iscasgen.GenOptions{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	base := core.DefaultParams(2)
+	base.Runs = 1
+	base.EA.MaxGenerations = 25
+	base.EA.MaxNoImprove = 10
+	base.EA.Workers = 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _, err := core.SweepCtx(context.Background(), ts, base,
+			[]int{8, 12, 16}, []int{16, 64}, workers)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepSerial is the 1-worker baseline for the pipeline engine.
+func BenchmarkSweepSerial(b *testing.B) { benchmarkSweepWorkers(b, 1) }
+
+// BenchmarkSweepParallel shards the same sweep across all CPUs; on a
+// multi-core machine it must beat BenchmarkSweepSerial.
+func BenchmarkSweepParallel(b *testing.B) { benchmarkSweepWorkers(b, runtime.NumCPU()) }
 
 // BenchmarkAblationSubsume measures the Section 3.3 subsumption post-pass
 // (paper: "handling such cases explicitly could improve the compression

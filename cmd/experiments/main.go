@@ -33,6 +33,7 @@ func main() {
 		sweep     = flag.Bool("sweep", true, "compute the EA-Best sweep column (table 1)")
 		ablations = flag.String("ablations", "", "run the DESIGN.md §5 ablations on the named circuit instead of a table")
 		converge  = flag.String("convergence", "", "dump the EA best-fitness-per-generation series for the named circuit (Figure 1 data)")
+		workers   = flag.Int("workers", 0, "parallel circuit jobs on the pipeline engine (0 = one per CPU, 1 = serial; results are identical at any setting)")
 	)
 	flag.Parse()
 
@@ -49,6 +50,7 @@ func main() {
 		cfg.Runs = *runs
 	}
 	cfg.Sweep = *sweep
+	cfg.Workers = *workers
 	if *circuits != "" {
 		cfg.Circuits = strings.Split(*circuits, ",")
 	}

@@ -44,6 +44,7 @@ func main() {
 		noimp   = flag.Int("noimprove", 100, "EA no-improvement termination window")
 		subsume = flag.Bool("subsume", false, "apply subsumption post-pass (ea)")
 		stats   = flag.Bool("stats", false, "print test-set statistics")
+		workers = flag.Int("workers", 0, "parallel EA runs on the pipeline engine (0 = one per CPU, 1 = serial; results are identical at any setting)")
 	)
 	flag.Parse()
 
@@ -74,6 +75,7 @@ func main() {
 			ForceAllU:  true,
 			SubsumeOpt: *subsume,
 			Runs:       *runs,
+			Workers:    *workers,
 		}
 		p.EA.MaxGenerations = *gens
 		p.EA.MaxNoImprove = *noimp

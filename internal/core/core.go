@@ -9,6 +9,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -17,6 +18,7 @@ import (
 	"repro/internal/huffman"
 	"repro/internal/mvheur"
 	"repro/internal/ninec"
+	"repro/internal/pipeline"
 	"repro/internal/testset"
 	"repro/internal/tritvec"
 )
@@ -47,6 +49,10 @@ type Params struct {
 	// Runs is the number of independent EA runs; the paper reports the
 	// average over 5 runs and also best-of.
 	Runs int
+	// Workers bounds batch-level parallelism when the independent EA runs
+	// (and sweep points) execute on the pipeline engine: 0 = one worker
+	// per CPU, 1 = serial. Any worker count produces identical results.
+	Workers int
 }
 
 // DefaultParams returns the paper's default configuration for Table 1:
@@ -77,6 +83,11 @@ func (p Params) Validate() error {
 	}
 	return p.EA.Validate()
 }
+
+// runSeed is the historical per-run seed derivation (Seed + run·7919),
+// kept so the parallel engine reproduces the original serial results
+// exactly.
+func runSeed(base int64, run int) int64 { return base + int64(run)*7919 }
 
 // geneToTrit maps an EA gene to a matching-vector trit. Genes use the
 // tritvec encoding directly: 0=U(X), 1=0, 2=1.
@@ -172,6 +183,14 @@ type Result struct {
 
 // Compress runs the EA compressor on ts.
 func Compress(ts *testset.TestSet, p Params) (*Result, error) {
+	return CompressCtx(context.Background(), ts, p)
+}
+
+// CompressCtx is Compress with cancellation. The p.Runs independent EA
+// runs execute as pipeline jobs (p.Workers-wide); per-run seeds are a
+// function of p.EA.Seed and the run index only, so the aggregate result
+// is byte-identical for every worker count, including the serial one.
+func CompressCtx(ctx context.Context, ts *testset.TestSet, p Params) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -199,18 +218,29 @@ func Compress(ts *testset.TestSet, p Params) (*Result, error) {
 		seeds = append(seeds, padToL(g.MVs))
 	}
 
+	jobs := make([]pipeline.Job[*ea.Result], p.Runs)
+	for run := 0; run < p.Runs; run++ {
+		cfg := p.EA
+		cfg.Seed = runSeed(p.EA.Seed, run)
+		jobs[run] = pipeline.Job[*ea.Result]{
+			Name: fmt.Sprintf("run%d", run),
+			Run: func(ctx context.Context, _ int64) (*ea.Result, error) {
+				return ea.RunCtx(ctx, cfg, prob, seeds...)
+			},
+		}
+	}
+	outs, err := pipeline.Run(ctx, pipeline.Config{Workers: p.Workers}, jobs)
+	if err != nil {
+		return nil, err
+	}
+
 	res := &Result{Params: p}
 	var bestGenes []ea.Gene
 	best := invalidFitness
-	for run := 0; run < p.Runs; run++ {
-		cfg := p.EA
-		cfg.Seed = p.EA.Seed + int64(run)*7919
-		out, err := ea.Run(cfg, prob, seeds...)
-		if err != nil {
-			return nil, err
-		}
+	for run, jr := range outs {
+		out := jr.Value
 		res.Runs = append(res.Runs, RunOutcome{
-			Seed:        cfg.Seed,
+			Seed:        runSeed(p.EA.Seed, run),
 			Rate:        out.Best.Fitness,
 			Generations: out.Generations,
 			Evals:       out.Evals,
@@ -231,7 +261,6 @@ func Compress(ts *testset.TestSet, p Params) (*Result, error) {
 
 	set := &blockcode.MVSet{K: p.K, MVs: GenesToMVs(bestGenes, p.K, p.L)}
 	var final *blockcode.Result
-	var err error
 	if p.SubsumeOpt {
 		final, err = set.BuildHuffmanOpt(blocks, ts.TotalBits())
 	} else {
@@ -258,26 +287,60 @@ type SweepPoint struct {
 
 // Sweep evaluates the compressor across (K, L) configurations and returns
 // all points plus the best ("EA-Best" column: "We generated data for
-// numerous values of K and L … we report our best results").
+// numerous values of K and L … we report our best results"). The grid
+// runs on the pipeline engine with base.Workers job-level parallelism.
+//
+// Seeding changed with the pipeline refactor: each grid point now runs
+// on its own seed derived from base.EA.Seed and the point's index
+// (pipeline.Seed) instead of every point sharing base.EA.Seed, so sweep
+// numbers differ from the pre-pipeline serial implementation at the same
+// seed. Runs remain fully reproducible and worker-count independent.
 func Sweep(ts *testset.TestSet, base Params, ks, ls []int) ([]SweepPoint, SweepPoint, error) {
-	var points []SweepPoint
-	best := SweepPoint{Rate: invalidFitness}
+	return SweepCtx(context.Background(), ts, base, ks, ls, base.Workers)
+}
+
+// SweepCtx is Sweep with explicit cancellation and worker count. Every
+// (K, L) point is one pipeline job whose EA seed is derived from
+// base.EA.Seed and the point's grid index (pipeline.Seed), so the sweep
+// is reproducible bit-for-bit at any worker count: 1 worker and N
+// workers return identical points and identical best.
+func SweepCtx(ctx context.Context, ts *testset.TestSet, base Params, ks, ls []int, workers int) ([]SweepPoint, SweepPoint, error) {
+	type gridPoint struct{ k, l int }
+	var grid []gridPoint
 	for _, k := range ks {
 		for _, l := range ls {
-			p := base
-			p.K, p.L = k, l
-			if p.SeedNineC && k%2 != 0 {
-				p.SeedNineC = false
-			}
-			r, err := Compress(ts, p)
-			if err != nil {
-				return nil, SweepPoint{}, fmt.Errorf("core: sweep K=%d L=%d: %v", k, l, err)
-			}
-			pt := SweepPoint{K: k, L: l, Rate: r.BestRate}
-			points = append(points, pt)
-			if pt.Rate > best.Rate {
-				best = pt
-			}
+			grid = append(grid, gridPoint{k, l})
+		}
+	}
+	jobs := make([]pipeline.Job[SweepPoint], len(grid))
+	for i, gp := range grid {
+		gp := gp
+		jobs[i] = pipeline.Job[SweepPoint]{
+			Name: fmt.Sprintf("K=%d/L=%d", gp.k, gp.l),
+			Run: func(ctx context.Context, seed int64) (SweepPoint, error) {
+				p := base
+				p.K, p.L = gp.k, gp.l
+				p.EA.Seed = seed
+				if p.SeedNineC && gp.k%2 != 0 {
+					p.SeedNineC = false
+				}
+				r, err := CompressCtx(ctx, ts, p)
+				if err != nil {
+					return SweepPoint{}, fmt.Errorf("core: sweep K=%d L=%d: %v", gp.k, gp.l, err)
+				}
+				return SweepPoint{K: gp.k, L: gp.l, Rate: r.BestRate}, nil
+			},
+		}
+	}
+	results, err := pipeline.Run(ctx, pipeline.Config{Workers: workers, RootSeed: base.EA.Seed}, jobs)
+	if err != nil {
+		return nil, SweepPoint{}, err
+	}
+	points := pipeline.Values(results)
+	best := SweepPoint{Rate: invalidFitness}
+	for _, pt := range points {
+		if pt.Rate > best.Rate {
+			best = pt
 		}
 	}
 	return points, best, nil

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/testset"
+)
+
+// TestSweepDeterministicAcrossWorkers is the engine's non-negotiable
+// invariant at the application level: the (K,L) sweep with 8 workers is
+// bit-for-bit identical to the 1-worker run at the same root seed.
+func TestSweepDeterministicAcrossWorkers(t *testing.T) {
+	r := rand.New(rand.NewSource(91))
+	ts := testset.Random(12, 40, 0.3, r)
+	base := DefaultParams(17)
+	base.Runs = 1
+	base.EA.MaxGenerations = 15
+	base.EA.MaxNoImprove = 8
+
+	ks, ls := []int{4, 6, 8}, []int{8, 16}
+	serialPts, serialBest, err := SweepCtx(context.Background(), ts, base, ks, ls, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		pts, best, err := SweepCtx(context.Background(), ts, base, ks, ls, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(serialPts, pts) {
+			t.Fatalf("sweep points with %d workers differ from serial:\n%v\nvs\n%v", workers, pts, serialPts)
+		}
+		if serialBest != best {
+			t.Fatalf("sweep best with %d workers %v differs from serial %v", workers, best, serialBest)
+		}
+	}
+}
+
+// TestCompressDeterministicAcrossWorkers checks the same invariant for
+// the multi-run EA: run outcomes, the float aggregation, and the final
+// encoded stream must not depend on the worker count.
+func TestCompressDeterministicAcrossWorkers(t *testing.T) {
+	r := rand.New(rand.NewSource(93))
+	ts := testset.Random(16, 50, 0.3, r)
+	p := DefaultParams(23)
+	p.Runs = 4
+	p.EA.MaxGenerations = 15
+	p.EA.MaxNoImprove = 8
+
+	p.Workers = 1
+	serial, err := CompressCtx(context.Background(), ts, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Workers = 8
+	parallel, err := CompressCtx(context.Background(), ts, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial.Runs, parallel.Runs) {
+		t.Fatal("per-run outcomes differ between 1 and 8 workers")
+	}
+	if serial.AverageRate != parallel.AverageRate || serial.BestRate != parallel.BestRate {
+		t.Fatalf("aggregates differ: serial (%v, %v) vs parallel (%v, %v)",
+			serial.AverageRate, serial.BestRate, parallel.AverageRate, parallel.BestRate)
+	}
+	if !reflect.DeepEqual(serial.Final, parallel.Final) {
+		t.Fatal("final encoded result differs between 1 and 8 workers")
+	}
+}
+
+// TestCompressCancelled verifies that a pre-cancelled context aborts the
+// pipeline instead of running the EA.
+func TestCompressCancelled(t *testing.T) {
+	r := rand.New(rand.NewSource(95))
+	ts := testset.Random(12, 30, 0.3, r)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := CompressCtx(ctx, ts, DefaultParams(1)); err == nil {
+		t.Fatal("cancelled CompressCtx returned nil error")
+	}
+}

@@ -10,10 +10,12 @@
 package ea
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
-	"sync"
+
+	"repro/internal/pipeline"
 )
 
 // Gene is one genome symbol; the paper's alphabet is {0, 1, U}.
@@ -141,6 +143,13 @@ type Result struct {
 // Run executes the EA on problem with config cfg. Deterministic given
 // cfg.Seed (parallel evaluation does not perturb the evolution order).
 func Run(cfg Config, problem Problem, seedIndividuals ...[]Gene) (*Result, error) {
+	return RunCtx(context.Background(), cfg, problem, seedIndividuals...)
+}
+
+// RunCtx is Run with cancellation: when ctx is cancelled the EA stops at
+// the next evaluation boundary and returns ctx's error alongside the
+// best-so-far result (which may be nil if no generation completed).
+func RunCtx(ctx context.Context, cfg Config, problem Problem, seedIndividuals ...[]Gene) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -171,7 +180,9 @@ func Run(cfg Config, problem Problem, seedIndividuals ...[]Gene) (*Result, error
 	pop = pop[:cfg.PopSize]
 
 	evals := 0
-	evaluate(problem, pop, cfg.Workers)
+	if err := cfg.evaluate(ctx, problem, pop); err != nil {
+		return nil, err
+	}
 	evals += len(pop)
 	sortPop(pop)
 
@@ -181,6 +192,11 @@ func Run(cfg Config, problem Problem, seedIndividuals ...[]Gene) (*Result, error
 	noImprove := 0
 	gen := 0
 	for {
+		if err := ctx.Err(); err != nil {
+			res.Generations = gen
+			res.Evals = evals
+			return res, err
+		}
 		gen++
 		if cfg.MaxGenerations > 0 && gen > cfg.MaxGenerations {
 			break
@@ -216,7 +232,11 @@ func Run(cfg Config, problem Problem, seedIndividuals ...[]Gene) (*Result, error
 			}
 		}
 
-		evaluate(problem, children, cfg.Workers)
+		if err := cfg.evaluate(ctx, problem, children); err != nil {
+			res.Generations = gen
+			res.Evals = evals
+			return res, err
+		}
 		evals += len(children)
 
 		pop = append(pop, children...)
@@ -309,36 +329,16 @@ func invert(rng *rand.Rand, a []Gene) []Gene {
 	return c
 }
 
-// evaluate fills in fitness for individuals with parallel workers.
-func evaluate(problem Problem, inds []Individual, workers int) {
-	if workers <= 0 {
-		workers = 4
-	}
-	if workers > len(inds) {
-		workers = len(inds)
-	}
-	if workers <= 1 {
-		for i := range inds {
-			inds[i].Fitness = problem.Fitness(inds[i].Genes)
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	ch := make(chan int, len(inds))
-	for i := range inds {
-		ch <- i
-	}
-	close(ch)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range ch {
-				inds[i].Fitness = problem.Fitness(inds[i].Genes)
-			}
-		}()
-	}
-	wg.Wait()
+// evaluate fills in fitness for individuals on the shared worker pool
+// (pipeline.Default's limiter, so fitness helpers compose with job-level
+// parallelism without oversubscription). ForEach clamps Workers to
+// len(inds) so tiny populations never spawn idle goroutines, and <= 0
+// selects the GOMAXPROCS-sized default. Writes are index-disjoint, so
+// the outcome is identical for any worker count.
+func (c Config) evaluate(ctx context.Context, problem Problem, inds []Individual) error {
+	return pipeline.ForEach(ctx, nil, len(inds), c.Workers, func(i int) {
+		inds[i].Fitness = problem.Fitness(inds[i].Genes)
+	})
 }
 
 // sortPop orders by descending fitness, stable so earlier individuals win

@@ -1,6 +1,8 @@
 package ea
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -273,5 +275,38 @@ func TestPickOperatorDistribution(t *testing.T) {
 	// 30/30/10 normalized => ~42.8%, 42.8%, 14.3%
 	if counts[opCross] < 3500 || counts[opMut] < 3500 || counts[opInv] < 800 {
 		t.Fatalf("operator distribution off: %v", counts)
+	}
+}
+
+func TestWorkerCountDoesNotPerturbResults(t *testing.T) {
+	// Oversized, tiny, and default worker counts must all give the same
+	// run — evaluate clamps workers to the population and GOMAXPROCS.
+	runWith := func(workers int) *Result {
+		cfg := DefaultConfig(13)
+		cfg.MaxGenerations = 40
+		cfg.MaxNoImprove = 40
+		cfg.Workers = workers
+		res, err := Run(cfg, oneMax{n: 20, alpha: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	want := runWith(1)
+	for _, workers := range []int{0, 2, 64} {
+		got := runWith(workers)
+		if got.Best.Fitness != want.Best.Fitness || got.Generations != want.Generations || got.Evals != want.Evals {
+			t.Fatalf("workers=%d diverged: %+v vs %+v", workers, got, want)
+		}
+	}
+}
+
+func TestRunCtxCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := DefaultConfig(17)
+	_, err := RunCtx(ctx, cfg, oneMax{n: 20, alpha: 2})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
 	}
 }

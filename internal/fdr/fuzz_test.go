@@ -1,0 +1,37 @@
+package fdr
+
+import (
+	"testing"
+
+	"repro/internal/bitstream"
+	"repro/internal/runlength"
+	"repro/internal/testset"
+)
+
+// FuzzRoundTrip asserts FDR encode -> decode reproduces the zero-filled
+// test set exactly over arbitrary inputs.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add([]byte{0x00}, uint8(1))
+	f.Add([]byte{0xff, 0x00, 0x55, 0xaa}, uint8(8))
+	f.Add([]byte{0x01, 0x40, 0x90, 0x00, 0x00, 0x06}, uint8(13))
+	f.Add([]byte("fuzz seed corpus"), uint8(24))
+	f.Fuzz(func(t *testing.T, data []byte, width uint8) {
+		ts := testset.FromFuzz(data, int(width%24)+1)
+		if ts == nil {
+			t.Skip("no patterns")
+		}
+		res, err := Compress(ts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		decoded, err := Decompress(bitstream.FromWriter(res.Stream), ts.TotalBits())
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := runlength.ZeroFill(ts)
+		if !want.Equal(decoded) {
+			t.Fatalf("round trip mismatch (width=%d, %d patterns)",
+				ts.Width, ts.NumPatterns())
+		}
+	})
+}

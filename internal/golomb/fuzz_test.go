@@ -1,0 +1,39 @@
+package golomb
+
+import (
+	"testing"
+
+	"repro/internal/bitstream"
+	"repro/internal/runlength"
+	"repro/internal/testset"
+)
+
+// FuzzRoundTrip asserts Golomb encode -> decode reproduces the
+// zero-filled test set exactly for every parameter M over arbitrary
+// inputs.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add([]byte{0x00}, uint8(1), uint16(4))
+	f.Add([]byte{0xff, 0x00, 0x55, 0xaa}, uint8(8), uint16(1))
+	f.Add([]byte{0x01, 0x40, 0x90, 0x00, 0x00, 0x06}, uint8(13), uint16(3))
+	f.Add([]byte("fuzz seed corpus"), uint8(24), uint16(255)) // mm = 256, the largest M
+	f.Fuzz(func(t *testing.T, data []byte, width uint8, m uint16) {
+		ts := testset.FromFuzz(data, int(width%24)+1)
+		if ts == nil {
+			t.Skip("no patterns")
+		}
+		mm := int(m%256) + 1
+		res, err := Compress(ts, mm)
+		if err != nil {
+			t.Fatalf("compress(M=%d): %v", mm, err)
+		}
+		decoded, err := Decompress(bitstream.FromWriter(res.Stream), mm, ts.TotalBits())
+		if err != nil {
+			t.Fatalf("decompress(M=%d): %v", mm, err)
+		}
+		want := runlength.ZeroFill(ts)
+		if !want.Equal(decoded) {
+			t.Fatalf("round trip mismatch (M=%d, width=%d, %d patterns)",
+				mm, ts.Width, ts.NumPatterns())
+		}
+	})
+}

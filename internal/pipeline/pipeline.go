@@ -1,0 +1,316 @@
+// Package pipeline is the repo's batch-execution engine: it shards a
+// slice of independent jobs (circuit × coder × parameters in the paper's
+// sweep) across a bounded worker pool, derives a deterministic RNG seed
+// for every job from a single root seed, streams results as they finish,
+// and aggregates them into an index-sorted, reproducible report.
+//
+// The non-negotiable invariant is determinism: given the same root seed
+// and job list, a run with N workers produces results byte-identical to a
+// serial run. The engine guarantees this by (a) deriving each job's seed
+// from the root seed and the job's index only (splitmix64, never from
+// scheduling order), and (b) aggregating by job index, never by completion
+// order. Anything nondeterministic (wall-clock timing) is kept out of the
+// comparable part of a Result.
+//
+// Nested parallel regions (a parallel sweep whose jobs each run a
+// parallel EA fitness evaluation) compose through a shared Limiter: inner
+// regions only spawn helper goroutines when a token is free and otherwise
+// run inline, so the machine is never oversubscribed and nesting can never
+// deadlock.
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrAborted marks jobs the engine skipped because an earlier job failed
+// under Config.FailFast. An aborted job's index is always higher than
+// the failing job's (dispatch follows index order), so Run's
+// lowest-index-error guarantee always surfaces a real error.
+var ErrAborted = errors.New("pipeline: job aborted after earlier job error")
+
+// Seed derives the RNG seed for job index from root using an splitmix64
+// mixing step. The derivation depends only on (root, index), so sharding
+// and scheduling cannot perturb it; distinct indices give well-separated
+// streams even for adjacent roots.
+func Seed(root int64, index int) int64 {
+	z := uint64(root) + (uint64(index)+1)*0x9E3779B97F4A7C15
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z)
+}
+
+// Limiter is a counting semaphore bounding the number of helper
+// goroutines across all parallel regions that share it. Acquisition is
+// always non-blocking (TryAcquire): a region that cannot get a token runs
+// the work inline on its own goroutine, which keeps nested regions
+// deadlock-free by construction.
+type Limiter struct {
+	tokens chan struct{}
+}
+
+// NewLimiter returns a Limiter with n tokens (minimum 1).
+func NewLimiter(n int) *Limiter {
+	if n < 1 {
+		n = 1
+	}
+	return &Limiter{tokens: make(chan struct{}, n)}
+}
+
+// TryAcquire takes a token if one is free.
+func (l *Limiter) TryAcquire() bool {
+	select {
+	case l.tokens <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+// Release returns a token taken by TryAcquire.
+func (l *Limiter) Release() { <-l.tokens }
+
+// Cap returns the token capacity.
+func (l *Limiter) Cap() int { return cap(l.tokens) }
+
+var defaultLimiter = NewLimiter(runtime.GOMAXPROCS(0))
+
+// Default returns the process-wide Limiter, sized to GOMAXPROCS so an
+// operator-configured parallelism cap is respected. All engine and
+// ForEach calls that don't supply their own Limiter share it, so
+// independently started parallel regions still respect one global
+// concurrency bound.
+func Default() *Limiter { return defaultLimiter }
+
+// Job is one unit of batch work. Run receives a context for cancellation
+// and the job's deterministically derived seed; it must be a pure
+// function of (seed, its own inputs) for the engine's reproducibility
+// guarantee to hold.
+type Job[T any] struct {
+	// Name labels the job in results and reports (e.g. "s349/K=12/L=64").
+	Name string
+	// Run executes the job. It is called at most once.
+	Run func(ctx context.Context, seed int64) (T, error)
+}
+
+// Result is the outcome of one job.
+type Result[T any] struct {
+	Index int    // position of the job in the input slice
+	Name  string // Job.Name
+	// Seed is the engine-derived seed offered to Job.Run. It identifies
+	// the run only when the job actually seeds from it; jobs with their
+	// own deterministic derivation (e.g. core.Compress's historical
+	// per-run seeds) ignore it and their callers omit Config.RootSeed.
+	Seed int64
+	// Value is Run's result. It may be non-zero alongside a non-nil Err
+	// when the job returns a partial best-so-far value (e.g. an EA run
+	// interrupted by cancellation).
+	Value T
+	Err   error // Run's error, or ctx.Err() for jobs skipped on cancel
+}
+
+// Config tunes an engine run.
+type Config struct {
+	// Workers bounds job-level parallelism. <= 0 means the GOMAXPROCS
+	// default; it is always clamped to len(jobs).
+	Workers int
+	// RootSeed is the root of the per-job seed derivation.
+	RootSeed int64
+	// Limiter is the shared concurrency bound helper workers draw from;
+	// nil means Default(). The first worker never needs a token, so a
+	// saturated limiter degrades to serial execution, never to deadlock.
+	Limiter *Limiter
+	// FailFast stops dispatching new jobs once any job returns an error;
+	// skipped jobs complete immediately with Err = ErrAborted. Which
+	// trailing jobs get aborted depends on scheduling, so FailFast
+	// trades the worker-count-independent result slice for not wasting
+	// compute after a failure — Run (whose callers discard results on
+	// error) always sets it; use Stream directly for run-to-completion
+	// semantics.
+	FailFast bool
+}
+
+func (c Config) workers(n int) int {
+	w := c.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+func (c Config) limiter() *Limiter {
+	if c.Limiter != nil {
+		return c.Limiter
+	}
+	return Default()
+}
+
+// runIndexed drains indices [0, n) across the calling goroutine plus up
+// to workers-1 helpers and returns when every index has been processed.
+// Each worker re-attempts token acquisition before every index it
+// processes, so a batch that starts under a saturated limiter picks up
+// parallelism as tokens free, instead of staying serial for its whole
+// lifetime. The caller never needs a token (progress guarantee), and
+// TryAcquire never blocks, so nesting cannot deadlock.
+func runIndexed(lim *Limiter, n, workers int, body func(i int)) {
+	var next atomic.Int64
+	var active atomic.Int64 // live helper goroutines
+	var wg sync.WaitGroup
+	var loop func()
+	// spawn adds one helper when under the worker budget, there is still
+	// unclaimed work, and a limiter token is free. It is called by every
+	// worker before each index, which both ramps the pool up at start
+	// and tops it back up when tokens are released mid-batch.
+	spawn := func() {
+		for {
+			h := active.Load()
+			if int(h) >= workers-1 || int(next.Load()) >= n {
+				return
+			}
+			if !active.CompareAndSwap(h, h+1) {
+				continue
+			}
+			if !lim.TryAcquire() {
+				active.Add(-1)
+				return
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer lim.Release()
+				defer active.Add(-1)
+				loop()
+			}()
+			return
+		}
+	}
+	loop = func() {
+		for {
+			spawn()
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			body(i)
+		}
+	}
+	loop()
+	wg.Wait()
+}
+
+// Stream executes jobs on the pool and returns a channel delivering one
+// Result per job in completion order. The channel is buffered to
+// len(jobs) and closed when all jobs are accounted for, so consumers may
+// drain lazily. When ctx is cancelled, jobs not yet started complete
+// immediately with Err = ctx.Err(); under Config.FailFast, jobs
+// dispatched after another job's failure complete with Err = ErrAborted.
+func Stream[T any](ctx context.Context, cfg Config, jobs []Job[T]) <-chan Result[T] {
+	out := make(chan Result[T], len(jobs))
+	if len(jobs) == 0 {
+		close(out)
+		return out
+	}
+	workers := cfg.workers(len(jobs))
+	lim := cfg.limiter()
+
+	var failed atomic.Bool
+	go func() {
+		runIndexed(lim, len(jobs), workers, func(i int) {
+			res := Result[T]{Index: i, Name: jobs[i].Name, Seed: Seed(cfg.RootSeed, i)}
+			if err := ctx.Err(); err != nil {
+				res.Err = err
+			} else if cfg.FailFast && failed.Load() {
+				res.Err = ErrAborted
+			} else {
+				res.Value, res.Err = jobs[i].Run(ctx, res.Seed)
+				if res.Err != nil {
+					failed.Store(true)
+				}
+			}
+			out <- res
+		})
+		close(out)
+	}()
+	return out
+}
+
+// Collect drains a Stream channel and returns the results sorted by job
+// index — the canonical reproducible aggregation.
+func Collect[T any](ch <-chan Result[T]) []Result[T] {
+	var results []Result[T]
+	for r := range ch {
+		results = append(results, r)
+	}
+	sort.Slice(results, func(i, j int) bool { return results[i].Index < results[j].Index })
+	return results
+}
+
+// Run executes jobs and returns index-sorted results plus the
+// lowest-index error (nil if every job succeeded). The result slice
+// always has len(jobs) entries, also under cancellation and errors, so a
+// report built from it has a deterministic shape. Run is fail-fast —
+// like the serial loops it replaces, it stops dispatching new jobs after
+// the first failure rather than burning hours on a doomed batch — and
+// the returned error is always a real job error, never ErrAborted.
+func Run[T any](ctx context.Context, cfg Config, jobs []Job[T]) ([]Result[T], error) {
+	cfg.FailFast = true
+	results := Collect(Stream(ctx, cfg, jobs))
+	for _, r := range results {
+		if r.Err != nil {
+			return results, r.Err
+		}
+	}
+	return results, nil
+}
+
+// Values extracts the Value of every result, in index order, assuming Run
+// returned without error.
+func Values[T any](results []Result[T]) []T {
+	vals := make([]T, len(results))
+	for i, r := range results {
+		vals[i] = r.Value
+	}
+	return vals
+}
+
+// ForEach runs fn(i) for every i in [0, n) using the calling goroutine
+// plus up to workers-1 helpers gated on lim (nil = Default()). Indices
+// are handed out atomically; fn must write only to index-disjoint state,
+// which makes the aggregate effect independent of the worker count.
+// workers <= 0 selects runtime.GOMAXPROCS(0) and is clamped to n. When
+// ctx is cancelled, remaining indices are skipped and ctx.Err() is
+// returned; fn calls already in flight complete.
+func ForEach(ctx context.Context, lim *Limiter, n, workers int, fn func(i int)) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if lim == nil {
+		lim = Default()
+	}
+	runIndexed(lim, n, workers, func(i int) {
+		if ctx.Err() == nil {
+			fn(i)
+		}
+	})
+	return ctx.Err()
+}

@@ -1,0 +1,36 @@
+package runlength
+
+import (
+	"testing"
+
+	"repro/internal/bitstream"
+	"repro/internal/testset"
+)
+
+// FuzzRoundTrip asserts encode -> decode is lossless for every counter
+// width over arbitrary test sets.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add([]byte{0x00}, uint8(1), uint8(4))
+	f.Add([]byte{0xff, 0x00, 0x55, 0xaa}, uint8(8), uint8(2))
+	f.Add([]byte{0x01, 0x40, 0x90, 0x00, 0x00, 0x06}, uint8(13), uint8(7))
+	f.Add([]byte("fuzz seed corpus"), uint8(24), uint8(1))
+	f.Fuzz(func(t *testing.T, data []byte, width, b uint8) {
+		ts := testset.FromFuzz(data, int(width%24)+1)
+		if ts == nil {
+			t.Skip("no patterns")
+		}
+		bw := int(b%30) + 1
+		res, err := Compress(ts, bw)
+		if err != nil {
+			t.Fatalf("compress(b=%d): %v", bw, err)
+		}
+		decoded, err := Decompress(bitstream.FromWriter(res.Stream), bw, ts.TotalBits())
+		if err != nil {
+			t.Fatalf("decompress(b=%d): %v", bw, err)
+		}
+		if err := Verify(ts, decoded); err != nil {
+			t.Fatalf("round trip (b=%d, width=%d, %d patterns): %v",
+				bw, ts.Width, ts.NumPatterns(), err)
+		}
+	})
+}

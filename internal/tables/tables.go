@@ -5,6 +5,7 @@
 package tables
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -12,6 +13,7 @@ import (
 	"repro/internal/ea"
 	"repro/internal/iscasgen"
 	"repro/internal/ninec"
+	"repro/internal/pipeline"
 	"repro/internal/testset"
 )
 
@@ -34,6 +36,10 @@ type Config struct {
 	SweepKs, SweepLs []int
 	// Circuits restricts the run to the named circuits (nil = all).
 	Circuits []string
+	// Workers bounds circuit-level parallelism on the pipeline engine
+	// (0 = one worker per CPU, 1 = serial). Per-circuit work depends only
+	// on Seed, so every worker count yields identical rows.
+	Workers int
 }
 
 // QuickConfig returns a configuration sized for CI-scale runs: scaled
@@ -82,6 +88,7 @@ func (c Config) eaParams(k, l int, seed int64) core.Params {
 		EA:        ea.DefaultConfig(seed),
 		ForceAllU: true,
 		Runs:      c.Runs,
+		Workers:   c.Workers,
 	}
 	if p.Runs <= 0 {
 		p.Runs = 2
@@ -108,7 +115,7 @@ func (c Config) wants(name string) bool {
 }
 
 // runRow measures all columns for one circuit.
-func (c Config) runRow(m iscasgen.Meta, ts *testset.TestSet) (Row, error) {
+func (c Config) runRow(ctx context.Context, m iscasgen.Meta, ts *testset.TestSet) (Row, error) {
 	row := Row{Meta: m, Bits: ts.TotalBits()}
 	nine, err := ninec.Compress(ts, 8)
 	if err != nil {
@@ -122,7 +129,7 @@ func (c Config) runRow(m iscasgen.Meta, ts *testset.TestSet) (Row, error) {
 	row.R9CHC = hc.RatePercent()
 
 	if m.Kind == iscasgen.StuckAt {
-		res, err := core.Compress(ts, c.eaParams(12, 64, c.Seed))
+		res, err := core.CompressCtx(ctx, ts, c.eaParams(12, 64, c.Seed))
 		if err != nil {
 			return row, fmt.Errorf("%s: EA: %v", m.Name, err)
 		}
@@ -130,7 +137,7 @@ func (c Config) runRow(m iscasgen.Meta, ts *testset.TestSet) (Row, error) {
 		if c.Sweep {
 			base := c.eaParams(12, 64, c.Seed+1)
 			base.Runs = 1
-			_, best, err := core.Sweep(ts, base, c.SweepKs, c.SweepLs)
+			_, best, err := core.SweepCtx(ctx, ts, base, c.SweepKs, c.SweepLs, base.Workers)
 			if err != nil {
 				return row, fmt.Errorf("%s: sweep: %v", m.Name, err)
 			}
@@ -145,12 +152,12 @@ func (c Config) runRow(m iscasgen.Meta, ts *testset.TestSet) (Row, error) {
 	}
 
 	// Path delay: EA1 (K=8, L=9) and EA2 (K=12, L=64).
-	res1, err := core.Compress(ts, c.eaParams(8, 9, c.Seed))
+	res1, err := core.CompressCtx(ctx, ts, c.eaParams(8, 9, c.Seed))
 	if err != nil {
 		return row, fmt.Errorf("%s: EA1: %v", m.Name, err)
 	}
 	row.REA = res1.AverageRate
-	res2, err := core.Compress(ts, c.eaParams(12, 64, c.Seed))
+	res2, err := core.CompressCtx(ctx, ts, c.eaParams(12, 64, c.Seed))
 	if err != nil {
 		return row, fmt.Errorf("%s: EA2: %v", m.Name, err)
 	}
@@ -160,22 +167,39 @@ func (c Config) runRow(m iscasgen.Meta, ts *testset.TestSet) (Row, error) {
 
 // Run executes the experiment for one registry table.
 func Run(metas []iscasgen.Meta, c Config) ([]Row, error) {
-	var rows []Row
+	return RunCtx(context.Background(), metas, c)
+}
+
+// RunCtx runs one pipeline job per selected circuit, c.Workers wide.
+// Each circuit derives its test set and EA seeds from c.Seed alone —
+// never from scheduling — so the rows are identical at any worker count
+// and are always reported in registry order.
+func RunCtx(ctx context.Context, metas []iscasgen.Meta, c Config) ([]Row, error) {
+	var wanted []iscasgen.Meta
 	for _, m := range metas {
-		if !c.wants(m.Name) {
-			continue
+		if c.wants(m.Name) {
+			wanted = append(wanted, m)
 		}
-		ts, err := iscasgen.Generate(m, iscasgen.GenOptions{MaxBits: c.MaxBits, Seed: c.Seed})
-		if err != nil {
-			return nil, err
-		}
-		row, err := c.runRow(m, ts)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, row)
 	}
-	return rows, nil
+	jobs := make([]pipeline.Job[Row], len(wanted))
+	for i, m := range wanted {
+		m := m
+		jobs[i] = pipeline.Job[Row]{
+			Name: m.Name,
+			Run: func(ctx context.Context, _ int64) (Row, error) {
+				ts, err := iscasgen.Generate(m, iscasgen.GenOptions{MaxBits: c.MaxBits, Seed: c.Seed})
+				if err != nil {
+					return Row{}, err
+				}
+				return c.runRow(ctx, m, ts)
+			},
+		}
+	}
+	results, err := pipeline.Run(ctx, pipeline.Config{Workers: c.Workers}, jobs)
+	if err != nil {
+		return nil, err
+	}
+	return pipeline.Values(results), nil
 }
 
 // RunTable1 regenerates Table 1 (stuck-at).

@@ -1,0 +1,46 @@
+package testset
+
+import "repro/internal/tritvec"
+
+// FromFuzz decodes arbitrary bytes into a test set — the shared input
+// generator for the coders' fuzz targets. Each byte yields four trits
+// (2 bits each: 0 -> 0, 1 -> 1, 2 -> X, 3 -> 0) packed into rows of the
+// given width; a partially filled last row is padded with X. Returns nil
+// when data yields no patterns or width is not positive.
+func FromFuzz(data []byte, width int) *TestSet {
+	if width <= 0 {
+		return nil
+	}
+	ts := New(width)
+	row := tritvec.New(width)
+	col := 0
+	for _, b := range data {
+		for shift := 0; shift < 8; shift += 2 {
+			var t tritvec.Trit
+			switch b >> uint(shift) & 3 {
+			case 1:
+				t = tritvec.One
+			case 2:
+				t = tritvec.X
+			default:
+				t = tritvec.Zero
+			}
+			row.Set(col, t)
+			if col++; col == width {
+				ts.Add(row)
+				row = tritvec.New(width)
+				col = 0
+			}
+		}
+	}
+	if col > 0 {
+		for ; col < width; col++ {
+			row.Set(col, tritvec.X)
+		}
+		ts.Add(row)
+	}
+	if ts.NumPatterns() == 0 {
+		return nil
+	}
+	return ts
+}
