@@ -5,7 +5,11 @@
 // The per-iteration work uses scaled test sets (tables.QuickConfig) so the
 // suite completes in minutes; `cmd/experiments` regenerates the complete
 // 39+29-circuit tables and writes EXPERIMENTS.md-ready output.
-package tcomp
+//
+// This file is an external test package (tcomp_test): internal/tables
+// itself imports the repro facade for the codec registry, so an
+// in-package test importing tables would form a cycle.
+package tcomp_test
 
 import (
 	"context"

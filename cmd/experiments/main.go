@@ -1,5 +1,6 @@
 // Command experiments regenerates the paper's Table 1 and Table 2, plus
-// the (K,L) sweep and ablations, printing paper-vs-measured rows.
+// the (K,L) sweep, ablations, and the full codec-registry comparison,
+// printing paper-vs-measured rows.
 //
 // Usage:
 //
@@ -7,12 +8,15 @@
 //	experiments -table 2 -maxbits 50000
 //	experiments -table 1 -full           # paper-scale parameters (slow)
 //	experiments -table 1 -circuits s349,s298
+//	experiments -codecs s641             # every registered codec on one circuit
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"sort"
 	"strings"
 
 	"repro/internal/core"
@@ -32,6 +36,7 @@ func main() {
 		circuits  = flag.String("circuits", "", "comma-separated circuit subset")
 		sweep     = flag.Bool("sweep", true, "compute the EA-Best sweep column (table 1)")
 		ablations = flag.String("ablations", "", "run the DESIGN.md §5 ablations on the named circuit instead of a table")
+		codecs    = flag.String("codecs", "", "compress the named circuit with every registered codec instead of a table")
 		converge  = flag.String("convergence", "", "dump the EA best-fitness-per-generation series for the named circuit (Figure 1 data)")
 		workers   = flag.Int("workers", 0, "parallel circuit jobs on the pipeline engine (0 = one per CPU, 1 = serial; results are identical at any setting)")
 	)
@@ -76,6 +81,29 @@ func main() {
 		fmt.Println("# generation  best_rate%  mean_rate%  evals")
 		for _, g := range res.Runs[0].History {
 			fmt.Printf("%5d  %8.3f  %8.3f  %6d\n", g.Generation, g.Best, g.Mean, g.Evals)
+		}
+		return
+	}
+
+	if *codecs != "" {
+		m, err := iscasgen.Find(*codecs, iscasgen.StuckAt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ts, err := iscasgen.Generate(m, iscasgen.GenOptions{MaxBits: cfg.MaxBits, Seed: cfg.Seed})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rates, err := tables.CodecRates(context.Background(), ts, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sort.Slice(rates, func(i, j int) bool { return rates[i].Rate > rates[j].Rate })
+		fmt.Printf("All codecs on %s (%d bits, seed %d):\n\n", m.Name, ts.TotalBits(), cfg.Seed)
+		fmt.Printf("%-10s %8s %14s\n", "codec", "rate", "compressed")
+		fmt.Println(strings.Repeat("-", 34))
+		for _, r := range rates {
+			fmt.Printf("%-10s %7.1f%% %13db\n", r.Codec, r.Rate, r.CompressedBits)
 		}
 		return
 	}

@@ -1,31 +1,29 @@
-// Command tcompress compresses a test-set file.
+// Command tcompress compresses a test-set file with any registered
+// codec and can serialize the result as a universal container that
+// cmd/tdecompress expands back (auto-detecting the method).
 //
 // Usage:
 //
 //	tcompress -in tests.txt -out tests.tcmp -method ea -k 12 -l 64
+//	tcompress -in tests.txt -out tests.tcmp -method golomb
 //	tcompress -in tests.txt -method 9c -k 8 -stats
-//	tcompress -in tests.txt -method golomb        (rate report only)
+//	tcompress -list
 //
-// Methods: ea, 9c, 9chc (container output supported), golomb, fdr, rl,
-// selhuff (rate report only).
+// Methods: every codec in the registry (ea, 9c, 9chc, golomb, fdr, rl,
+// selhuff); all of them support container output.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"os"
+	"os/signal"
+	"strings"
 
-	"repro/internal/blockcode"
-	"repro/internal/container"
-	"repro/internal/core"
-	"repro/internal/ea"
-	"repro/internal/fdr"
-	"repro/internal/golomb"
-	"repro/internal/ninec"
-	"repro/internal/runlength"
-	"repro/internal/selhuff"
+	tcomp "repro"
 	"repro/internal/testset"
 )
 
@@ -34,19 +32,35 @@ func main() {
 	log.SetPrefix("tcompress: ")
 	var (
 		in      = flag.String("in", "", "input test-set file (default stdin)")
-		out     = flag.String("out", "", "output container file (ea/9c/9chc only)")
-		method  = flag.String("method", "ea", "ea | 9c | 9chc | golomb | fdr | rl | selhuff")
-		k       = flag.Int("k", 12, "input block length K")
-		l       = flag.Int("l", 64, "number of matching vectors L (ea)")
-		runs    = flag.Int("runs", 5, "independent EA runs (ea)")
+		out     = flag.String("out", "", "output container file (any method)")
+		method  = flag.String("method", "ea", "codec name: "+strings.Join(tcomp.Codecs(), " | "))
+		list    = flag.Bool("list", false, "list registered codecs and exit")
+		k       = flag.Int("k", 0, "input block length K (0 = codec default; ea 12, 9c/9chc/selhuff 8)")
+		l       = flag.Int("l", 0, "number of matching vectors L (ea; 0 = default 64)")
+		runs    = flag.Int("runs", 0, "independent EA runs (ea; 0 = default 5)")
 		seed    = flag.Int64("seed", 1, "random seed")
 		gens    = flag.Int("gens", 2000, "EA generation cap")
 		noimp   = flag.Int("noimprove", 100, "EA no-improvement termination window")
 		subsume = flag.Bool("subsume", false, "apply subsumption post-pass (ea)")
+		m       = flag.Int("m", 0, "Golomb parameter M (golomb; 0 = pick best power of two)")
+		d       = flag.Int("d", 0, "dictionary size D (selhuff; 0 = default 8)")
+		b       = flag.Int("b", 0, "run-length counter width in bits (rl; 0 = default 4)")
 		stats   = flag.Bool("stats", false, "print test-set statistics")
 		workers = flag.Int("workers", 0, "parallel EA runs on the pipeline engine (0 = one per CPU, 1 = serial; results are identical at any setting)")
 	)
 	flag.Parse()
+
+	if *list {
+		for _, name := range tcomp.Codecs() {
+			fmt.Println(name)
+		}
+		return
+	}
+
+	codec, err := tcomp.Lookup(*method)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	var r io.Reader = os.Stdin
 	if *in != "" {
@@ -65,97 +79,59 @@ func main() {
 		fmt.Println(ts.Summary())
 	}
 
-	var res *blockcode.Result
-	var cm container.Method
-	switch *method {
-	case "ea":
-		p := core.Params{
-			K: *k, L: *l,
-			EA:         ea.DefaultConfig(*seed),
-			ForceAllU:  true,
-			SubsumeOpt: *subsume,
-			Runs:       *runs,
-			Workers:    *workers,
-		}
-		p.EA.MaxGenerations = *gens
-		p.EA.MaxNoImprove = *noimp
-		eaRes, err := core.Compress(ts, p)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("EA: average rate %.2f%%, best rate %.2f%% over %d runs\n",
-			eaRes.AverageRate, eaRes.BestRate, len(eaRes.Runs))
-		res, cm = eaRes.Final, container.MethodEA
-	case "9c":
-		res9, err := ninec.Compress(ts, *k)
-		if err != nil {
-			log.Fatal(err)
-		}
-		res, cm = res9, container.Method9C
-	case "9chc":
-		res9, err := ninec.CompressHC(ts, *k)
-		if err != nil {
-			log.Fatal(err)
-		}
-		res, cm = res9, container.Method9CHC
-	case "golomb":
-		g, err := golomb.CompressBest(ts)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("golomb(M=%d): rate %.2f%% (%d -> %d bits)\n",
-			g.M, g.RatePercent(), g.OriginalBits, g.CompressedBits)
-		return
-	case "fdr":
-		fres, err := fdr.Compress(ts)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("fdr: rate %.2f%% (%d -> %d bits)\n",
-			fres.RatePercent(), fres.OriginalBits, fres.CompressedBits)
-		return
-	case "rl":
-		rres, err := runlength.Compress(ts, 4)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("runlength(b=4): rate %.2f%% (%d -> %d bits)\n",
-			rres.RatePercent(), rres.OriginalBits, rres.CompressedBits)
-		return
-	case "selhuff":
-		sres, err := selhuff.Compress(ts, *k, 8)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("selhuff(K=%d,D=8): rate %.2f%% (%d -> %d bits)\n",
-			*k, sres.RatePercent(), sres.OriginalBits, sres.CompressedBits)
-		return
-	default:
-		log.Fatalf("unknown method %q", *method)
+	// The EA honors cancellation down to the pipeline engine, so Ctrl-C
+	// aborts a long run cleanly.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	p := tcomp.DefaultEAParams(*seed)
+	p.EA.MaxGenerations = *gens
+	p.EA.MaxNoImprove = *noimp
+	p.SubsumeOpt = *subsume
+	opts := []tcomp.Option{
+		tcomp.WithSeed(*seed),
+		tcomp.WithWorkers(*workers),
+		tcomp.WithEAParams(p),
+	}
+	if *k > 0 {
+		opts = append(opts, tcomp.WithBlockLen(*k))
+	}
+	if *l > 0 {
+		opts = append(opts, tcomp.WithMVCount(*l))
+	}
+	if *runs > 0 {
+		opts = append(opts, tcomp.WithRuns(*runs))
+	}
+	if *m > 0 {
+		opts = append(opts, tcomp.WithGolombM(*m))
+	}
+	if *d > 0 {
+		opts = append(opts, tcomp.WithDictSize(*d))
+	}
+	if *b > 0 {
+		opts = append(opts, tcomp.WithCounterWidth(*b))
 	}
 
-	fmt.Printf("%s: rate %.2f%% (%d -> %d bits), %d MVs used, decoder codewords up to %d bits\n",
-		cm, res.RatePercent(), res.OriginalBits, res.CompressedBits,
-		res.Code.NumUsed(), maxLen(res.Code.Lengths))
+	art, err := codec.Compress(ctx, ts, opts...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: rate %.2f%% (%d -> %d bits)\n",
+		art.Codec, art.RatePercent(), art.OriginalBits, art.CompressedBits)
+	if res, ok := art.Extra.(*tcomp.EAResult); ok {
+		fmt.Printf("ea runs: average %.2f%%, best %.2f%% over %d runs\n",
+			res.AverageRate, res.BestRate, len(res.Runs))
+	}
+
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
 			log.Fatal(err)
 		}
 		defer f.Close()
-		if err := container.Write(f, cm, ts.Width, ts.NumPatterns(), res); err != nil {
+		if err := tcomp.Write(f, art); err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("wrote %s\n", *out)
+		fmt.Printf("wrote %s (container v2, codec %s)\n", *out, art.Codec)
 	}
-}
-
-func maxLen(lengths []int) int {
-	m := 0
-	for _, l := range lengths {
-		if l > m {
-			m = l
-		}
-	}
-	return m
 }

@@ -1,5 +1,8 @@
 // Command tdecompress expands a compressed container back into a fully
-// specified test-set file and optionally verifies it against the original.
+// specified test-set file and optionally verifies it against the
+// original. The compression method is auto-detected from the container
+// header — every registered codec (ea, 9c, 9chc, golomb, fdr, rl,
+// selhuff) round-trips, and legacy v1 block-codec files remain readable.
 //
 // Usage:
 //
@@ -12,12 +15,11 @@ import (
 	"log"
 	"os"
 
-	"repro/internal/blockcode"
+	tcomp "repro"
+	"repro/internal/container"
 	"repro/internal/decoder"
 	"repro/internal/testset"
 	"repro/internal/tritvec"
-
-	"repro/internal/container"
 )
 
 func main() {
@@ -27,47 +29,51 @@ func main() {
 		in     = flag.String("in", "", "input container file")
 		out    = flag.String("out", "", "output test-set file (default stdout)")
 		verify = flag.String("verify", "", "original test-set file to verify against")
-		fsm    = flag.Bool("fsm", false, "decode through the hardware FSM model and report cycles")
+		fsm    = flag.Bool("fsm", false, "decode through the hardware FSM model and report cycles (block codecs only)")
 	)
 	flag.Parse()
 	if *in == "" {
 		log.Fatal("-in is required")
 	}
-	f, err := os.Open(*in)
+	art, err := tcomp.OpenFile(*in)
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer f.Close()
-	cf, err := container.Read(f)
-	if err != nil {
-		log.Fatal(err)
-	}
+	fmt.Fprintf(os.Stderr, "container: codec %s, %d patterns x %d inputs, %d payload bits\n",
+		art.Codec, art.Patterns, art.Width, art.NBits)
 
-	var blocks []tritvec.Vector
+	var ts *testset.TestSet
 	if *fsm {
-		dec, err := decoder.New(cf.Set, cf.Code)
+		// The hardware decoder model exists for the block codecs; their
+		// artifacts carry the MV table and codeword list as the
+		// parameter blob.
+		set, code, err := container.DecodeBlockParams(art.Params)
+		if err != nil {
+			log.Fatalf("-fsm requires a block-codec container (ea/9c/9chc): %v", err)
+		}
+		dec, err := decoder.New(set, code)
 		if err != nil {
 			log.Fatal(err)
 		}
-		var st decoder.Stats
-		blocks, st, err = dec.Run(cf.Reader(), cf.NumBlocks())
+		total := art.Width * art.Patterns
+		nblocks := (total + set.K - 1) / set.K
+		blocks, st, err := dec.Run(art.BitReader(), nblocks)
 		if err != nil {
 			log.Fatal(err)
 		}
 		area := dec.Area()
 		fmt.Fprintf(os.Stderr, "fsm: %d blocks, %d input bits, %d cycles, %d states, %.0f GE\n",
 			st.Blocks, st.InputBits, st.Cycles, area.States, area.GateEquivalents)
-	} else {
-		blocks, err = blockcode.Decode(cf.Reader(), cf.Set, cf.Code, cf.NumBlocks())
+		flat := tritvec.Concat(blocks...).Slice(0, total)
+		ts, err = testset.FromFlat(flat, art.Width)
 		if err != nil {
 			log.Fatal(err)
 		}
-	}
-
-	flat := tritvec.Concat(blocks...).Slice(0, cf.Width*cf.Patterns)
-	ts, err := testset.FromFlat(flat, cf.Width)
-	if err != nil {
-		log.Fatal(err)
+	} else {
+		ts, err = tcomp.Decompress(art)
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	if *verify != "" {

@@ -1,0 +1,158 @@
+package tcomp
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Codec is the uniform interface every compression scheme implements:
+// the paper's EA-optimized matching vectors, the 9C / 9C+HC baselines,
+// and the run-length-family coders its related-work section compares
+// against. Compress produces a self-contained Artifact; Decompress
+// reconstructs a fully specified test set from one (its own or any
+// artifact with the codec's name, e.g. one read back via Open).
+//
+// Implementations are registered at init time; obtain one with Lookup
+// and enumerate them with Codecs:
+//
+//	codec, _ := tcomp.Lookup("golomb")
+//	art, _ := codec.Compress(ctx, ts, tcomp.WithSeed(1))
+//	tcomp.Write(f, art)                  // universal container v2
+//	...
+//	art, _ = tcomp.Open(f)               // any codec, auto-detected
+//	dec, _ := tcomp.Decompress(art)      // dispatches on art.Codec
+type Codec interface {
+	// Name returns the codec's registry name (lowercase, stable; it is
+	// written into the container header).
+	Name() string
+	// Compress encodes ts. Options a codec does not understand are
+	// ignored; ctx cancellation is honored (threaded down to the
+	// pipeline engine for the EA).
+	Compress(ctx context.Context, ts *TestSet, opts ...Option) (*Artifact, error)
+	// Decompress reconstructs the fully specified test set from an
+	// artifact produced by (or parsed for) this codec.
+	Decompress(a *Artifact) (*TestSet, error)
+}
+
+// options collects every knob a codec may consult. Each codec documents
+// which fields it reads; unknown fields are ignored, so one option list
+// can be passed to all codecs (as examples/codes_comparison does).
+type options struct {
+	seed     int64
+	seedSet  bool
+	blockLen int
+	mvCount  int
+	runs     int
+	workers  int
+	golombM  int
+	dictSize int
+	counterW int
+	ea       *EAParams
+}
+
+func buildOptions(opts []Option) options {
+	o := options{seed: 1}
+	for _, fn := range opts {
+		if fn != nil {
+			fn(&o)
+		}
+	}
+	return o
+}
+
+// Option configures a Compress call.
+type Option func(*options)
+
+// WithSeed sets the random seed (default 1). Read by: ea. An explicit
+// WithSeed overrides the seed inside WithEAParams regardless of option
+// order.
+func WithSeed(seed int64) Option {
+	return func(o *options) { o.seed, o.seedSet = seed, true }
+}
+
+// WithBlockLen sets the input block length K (0 = codec default: ea 12,
+// 9c/9chc 8, selhuff 8). Read by: ea, 9c, 9chc, selhuff.
+func WithBlockLen(k int) Option { return func(o *options) { o.blockLen = k } }
+
+// WithWorkers bounds pipeline-engine parallelism (0 = one worker per
+// CPU, 1 = serial; results are identical at any setting). Read by: ea.
+func WithWorkers(n int) Option { return func(o *options) { o.workers = n } }
+
+// WithEAParams replaces the full evolutionary-compressor configuration.
+// WithSeed/WithBlockLen/WithMVCount/WithRuns/WithWorkers applied in the
+// same call refine it afterwards. Read by: ea.
+func WithEAParams(p EAParams) Option { return func(o *options) { o.ea = &p } }
+
+// WithMVCount sets the number of matching vectors L (0 = default 64).
+// Read by: ea.
+func WithMVCount(l int) Option { return func(o *options) { o.mvCount = l } }
+
+// WithRuns sets the number of independent EA runs (0 = default 5).
+// Read by: ea.
+func WithRuns(n int) Option { return func(o *options) { o.runs = n } }
+
+// WithGolombM pins the Golomb parameter M (0 = search powers of two up
+// to 256 and keep the best). Read by: golomb.
+func WithGolombM(m int) Option { return func(o *options) { o.golombM = m } }
+
+// WithDictSize sets the selective-Huffman dictionary size D (0 =
+// default 8). Read by: selhuff.
+func WithDictSize(d int) Option { return func(o *options) { o.dictSize = d } }
+
+// WithCounterWidth sets the run-length counter width b in bits (0 =
+// default 4). Read by: rl.
+func WithCounterWidth(b int) Option { return func(o *options) { o.counterW = b } }
+
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]Codec{}
+)
+
+// Register adds a codec to the package registry. It panics if the codec
+// is nil, its name is empty, or the name is already taken — codec names
+// are a global namespace baked into container files, so a silent
+// overwrite would corrupt round-trips.
+func Register(c Codec) {
+	if c == nil {
+		panic("tcomp: Register(nil)")
+	}
+	name := c.Name()
+	if name == "" {
+		panic("tcomp: Register with empty codec name")
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("tcomp: Register called twice for codec %q", name))
+	}
+	registry[name] = c
+}
+
+// Lookup returns the registered codec with the given name.
+func Lookup(name string) (Codec, error) {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	c, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("tcomp: unknown codec %q (registered: %v)", name, codecNamesLocked())
+	}
+	return c, nil
+}
+
+// Codecs returns the sorted names of all registered codecs.
+func Codecs() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	return codecNamesLocked()
+}
+
+func codecNamesLocked() []string {
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

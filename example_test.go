@@ -24,7 +24,7 @@ func Example() {
 		log.Fatal(err)
 	}
 	fmt.Printf("%d -> %d bits\n", res.OriginalBits, res.CompressedBits)
-	dec, err := tcomp.Decompress(res, ts.Width)
+	dec, err := tcomp.DecompressResult(res, ts.Width)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -57,7 +57,7 @@ func ExampleCompressEA() {
 	// The EA finds an MV like 110U0U and encodes each 6-bit block in a
 	// codeword plus at most two fill bits.
 	fmt.Println("compressed below half:", res.Final.CompressedBits < res.Final.OriginalBits/2)
-	dec, _ := tcomp.Decompress(res.Final, ts.Width)
+	dec, _ := tcomp.DecompressResult(res.Final, ts.Width)
 	fmt.Println("lossless:", tcomp.VerifyLossless(ts, dec))
 	// Output:
 	// compressed below half: true

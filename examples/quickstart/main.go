@@ -1,8 +1,11 @@
-// Quickstart: compress a small test set with the paper's EA method,
-// decompress it, and verify that every specified bit survived.
+// Quickstart: compress a small test set with the paper's EA method via
+// the codec registry, serialize it as a universal container, read it
+// back, decompress, and verify that every specified bit survived.
 package main
 
 import (
+	"bytes"
+	"context"
 	"fmt"
 	"log"
 
@@ -29,6 +32,12 @@ func main() {
 	fmt.Printf("original: %d patterns x %d inputs = %d bits (%.0f%% specified)\n",
 		ts.NumPatterns(), ts.Width, ts.TotalBits(), 100*ts.CareDensity())
 
+	// Every scheme is a registered codec; grab the paper's EA compressor.
+	codec, err := tcomp.Lookup("ea")
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	// Paper defaults are K=12, L=64; this toy set is tiny, so use a
 	// small configuration.
 	p := tcomp.DefaultEAParams(42)
@@ -38,36 +47,52 @@ func main() {
 	p.EA.MaxGenerations = 200
 	p.EA.MaxNoImprove = 50
 
-	res, err := tcomp.CompressEA(ts, p)
+	art, err := codec.Compress(context.Background(), ts, tcomp.WithEAParams(p))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("EA compression: average %.1f%%, best %.1f%% over %d runs\n",
-		res.AverageRate, res.BestRate, len(res.Runs))
-	fmt.Printf("final stream: %d -> %d bits\n", res.Final.OriginalBits, res.Final.CompressedBits)
+	fmt.Printf("EA compression: %.1f%% (%d -> %d bits)\n",
+		art.RatePercent(), art.OriginalBits, art.CompressedBits)
 
-	fmt.Println("matching vectors in use:")
-	for i, mv := range res.Final.Set.MVs {
-		if res.Final.Code.Lengths[i] > 0 && res.Final.Covering.Freqs[i] > 0 {
-			fmt.Printf("  %s  codeword %-6s  used %d times\n",
-				mv.StringU(), res.Final.Code.WordString(i), res.Final.Covering.Freqs[i])
+	// The artifact's Extra carries the codec's rich in-memory result —
+	// for the EA, per-run statistics and the final MV set.
+	if res, ok := art.Extra.(*tcomp.EAResult); ok {
+		fmt.Printf("runs: average %.1f%%, best %.1f%% over %d runs\n",
+			res.AverageRate, res.BestRate, len(res.Runs))
+		fmt.Println("matching vectors in use:")
+		for i, mv := range res.Final.Set.MVs {
+			if res.Final.Code.Lengths[i] > 0 && res.Final.Covering.Freqs[i] > 0 {
+				fmt.Printf("  %s  codeword %-6s  used %d times\n",
+					mv.StringU(), res.Final.Code.WordString(i), res.Final.Covering.Freqs[i])
+			}
 		}
 	}
 
-	// Compare against the two baselines from the paper.
-	for _, b := range []struct {
-		name string
-		f    func(*tcomp.TestSet, int) (*tcomp.BlockResult, error)
-	}{{"9C   ", tcomp.Compress9C}, {"9C+HC", tcomp.Compress9CHC}} {
-		r, err := b.f(ts, 6)
+	// Compare against the baselines through the same interface.
+	for _, name := range []string{"9c", "9chc"} {
+		c, err := tcomp.Lookup(name)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("baseline %s: %.1f%%\n", b.name, r.RatePercent())
+		r, err := c.Compress(context.Background(), ts, tcomp.WithBlockLen(6))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("baseline %-5s: %.1f%%\n", name, r.RatePercent())
 	}
 
-	// Round trip.
-	dec, err := tcomp.Decompress(res.Final, ts.Width)
+	// Round trip through the universal container: write the artifact,
+	// reopen it (codec auto-detected from the header), decompress.
+	var buf bytes.Buffer
+	if err := tcomp.Write(&buf, art); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("container: %d bytes on disk\n", buf.Len())
+	art2, err := tcomp.Open(&buf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dec, err := tcomp.Decompress(art2)
 	if err != nil {
 		log.Fatal(err)
 	}

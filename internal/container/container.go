@@ -1,10 +1,12 @@
 // Package container defines the on-disk format for compressed test data:
-// a self-describing header (method, block length, test-set dimensions,
-// matching-vector table, codeword lengths) followed by the encoded
-// bitstream. The format is what a tester would ship together with the
-// decoder configuration.
+// a self-describing header followed by the encoded bitstream. The format
+// is what a tester would ship together with the decoder configuration.
 //
-// Layout (big-endian):
+// Two format versions exist. Version 2 (see v2.go) is the universal
+// container written by all current tools: it names the codec and carries
+// an opaque per-codec parameter blob, so every registered compression
+// scheme round-trips. Version 1, kept readable for compatibility, is the
+// legacy block-codec-only layout (big-endian):
 //
 //	magic   [4]byte  "TCMP"
 //	version uint8    (1)
@@ -17,6 +19,10 @@
 //	per MV: codeword length uint8, codeword bits uint64
 //	nbits   uint32   payload bit count
 //	payload ceil(nbits/8) bytes
+//
+// Both readers bounds-check every header field (dimension caps, chunked
+// section reads) before allocating, so truncated or hostile containers
+// fail fast instead of exhausting memory.
 package container
 
 import (
@@ -161,7 +167,8 @@ func readMV(r io.Reader, k int) (tritvec.Vector, error) {
 	return mv, nil
 }
 
-// Read parses a container.
+// Read parses a legacy v1 container. New code should prefer ReadAny,
+// which also understands the universal v2 format.
 func Read(r io.Reader) (*File, error) {
 	var m [4]byte
 	if _, err := io.ReadFull(r, m[:]); err != nil {
@@ -170,55 +177,49 @@ func Read(r io.Reader) (*File, error) {
 	if m != magic {
 		return nil, fmt.Errorf("container: bad magic %q", m)
 	}
-	var version, method uint8
-	var k, nMVs uint16
-	var width, patterns uint32
-	for _, v := range []interface{}{&version, &method, &k, &width, &patterns, &nMVs} {
-		if err := binary.Read(r, binary.BigEndian, v); err != nil {
-			return nil, err
-		}
+	var version uint8
+	if err := binary.Read(r, binary.BigEndian, &version); err != nil {
+		return nil, err
 	}
 	if version != 1 {
 		return nil, fmt.Errorf("container: unsupported version %d", version)
 	}
-	f := &File{Method: Method(method), K: int(k), Width: int(width), Patterns: int(patterns)}
-	mvs := make([]tritvec.Vector, nMVs)
-	for i := range mvs {
-		mv, err := readMV(r, f.K)
-		if err != nil {
+	return readV1Body(r)
+}
+
+// readV1Body parses everything after the magic and version byte of a v1
+// container, bounds-checking each dimension before it drives an
+// allocation.
+func readV1Body(r io.Reader) (*File, error) {
+	var method uint8
+	var k, nMVs uint16
+	var width, patterns uint32
+	for _, v := range []interface{}{&method, &k, &width, &patterns, &nMVs} {
+		if err := binary.Read(r, binary.BigEndian, v); err != nil {
 			return nil, err
 		}
-		mvs[i] = mv
 	}
-	set, err := blockcode.NewMVSet(f.K, mvs)
+	f := &File{Method: Method(method), K: int(k), Width: int(width), Patterns: int(patterns)}
+	if f.Width < 1 || f.Width > MaxWidth {
+		return nil, fmt.Errorf("container: width %d out of range [1,%d]", f.Width, MaxWidth)
+	}
+	if f.Patterns > MaxPatterns {
+		return nil, fmt.Errorf("container: pattern count %d exceeds %d", f.Patterns, MaxPatterns)
+	}
+	set, code, err := readBlockTables(r, f.K, int(nMVs))
 	if err != nil {
 		return nil, err
 	}
-	f.Set = set
-	lengths := make([]int, nMVs)
-	words := make([]uint64, nMVs)
-	for i := range lengths {
-		var l uint8
-		if err := binary.Read(r, binary.BigEndian, &l); err != nil {
-			return nil, err
-		}
-		if err := binary.Read(r, binary.BigEndian, &words[i]); err != nil {
-			return nil, err
-		}
-		lengths[i] = int(l)
-	}
-	code := &huffman.Code{Lengths: lengths, Words: words}
-	if !code.IsPrefixFree() {
-		return nil, fmt.Errorf("container: stored code is not prefix-free")
-	}
-	f.Code = code
+	f.Set, f.Code = set, code
 	var nbits uint32
 	if err := binary.Read(r, binary.BigEndian, &nbits); err != nil {
 		return nil, err
 	}
+	if nbits > MaxPayloadBits {
+		return nil, fmt.Errorf("container: payload bit count %d exceeds %d", nbits, MaxPayloadBits)
+	}
 	f.NBits = int(nbits)
-	f.Payload = make([]byte, (f.NBits+7)/8)
-	if _, err := io.ReadFull(r, f.Payload); err != nil {
+	if f.Payload, err = readSized(r, (f.NBits+7)/8); err != nil {
 		return nil, err
 	}
 	return f, nil

@@ -1,0 +1,90 @@
+package container
+
+// FuzzContainerRoundTrip feeds untrusted bytes to the container parser:
+// parsing must either error out cleanly or yield a container that
+// re-serializes (as v2) and re-parses to the same value — never panic,
+// never over-allocate on a hostile header.
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/bitstream"
+	"repro/internal/blockcode"
+	"repro/internal/huffman"
+	"repro/internal/tritvec"
+)
+
+// fuzzSeedV1 builds a small valid legacy container.
+func fuzzSeedV1(tb testing.TB) []byte {
+	tb.Helper()
+	mv := tritvec.New(4)
+	mv.Set(0, tritvec.Zero)
+	mv.Set(1, tritvec.One)
+	set, err := blockcode.NewMVSet(4, []tritvec.Vector{mv, tritvec.New(4)})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	code, err := huffman.Explicit([]int{1, 1}, []uint64{0, 1})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	w := bitstream.NewWriter()
+	w.WriteBits(0b10110, 5)
+	res := &blockcode.Result{Set: set, Code: code, Stream: w}
+	var buf bytes.Buffer
+	if err := Write(&buf, MethodEA, 4, 2, res); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// fuzzSeedV2 builds a small valid v2 container.
+func fuzzSeedV2(tb testing.TB) []byte {
+	tb.Helper()
+	var buf bytes.Buffer
+	err := WriteV2(&buf, &Container{
+		Version:  Version2,
+		Codec:    "golomb",
+		Width:    8,
+		Patterns: 3,
+		Params:   []byte{0, 0, 0, 4},
+		Payload:  []byte{0xA5, 0xC0},
+		NBits:    10,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func FuzzContainerRoundTrip(f *testing.F) {
+	f.Add(fuzzSeedV1(f))
+	f.Add(fuzzSeedV2(f))
+	f.Add([]byte("TCMP"))
+	f.Add([]byte{'T', 'C', 'M', 'P', 2, 0})
+	f.Add([]byte{'T', 'C', 'M', 'P', 1, 1, 0, 4, 0, 0, 0, 8, 0, 0, 0, 2, 0, 1})
+	// Hostile: v2 header claiming a 4-billion-bit payload with no body.
+	f.Add([]byte{'T', 'C', 'M', 'P', 2, 2, 'e', 'a',
+		0, 0, 0, 8, 0, 0, 0, 2, 0, 0, 0, 0, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := ReadAny(bytes.NewReader(data))
+		if err != nil {
+			return // rejected cleanly
+		}
+		// Accepted input must re-serialize and re-parse identically.
+		var buf bytes.Buffer
+		if err := WriteV2(&buf, c); err != nil {
+			t.Fatalf("parsed container fails to re-serialize: %v", err)
+		}
+		c2, err := ReadAny(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-serialized container fails to parse: %v", err)
+		}
+		if c2.Codec != c.Codec || c2.Width != c.Width || c2.Patterns != c.Patterns ||
+			c2.NBits != c.NBits || !bytes.Equal(c2.Params, c.Params) ||
+			!bytes.Equal(c2.Payload, c.Payload) {
+			t.Fatalf("round trip changed container:\n got %+v\nwant %+v", c2, c)
+		}
+	})
+}

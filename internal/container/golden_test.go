@@ -1,0 +1,140 @@
+package container
+
+// Golden-file tests pinning the container v2 byte layout. Future PRs
+// must not change these bytes: v2 is a published format, and any layout
+// change needs a version bump plus a new golden file, not an edit here.
+//
+// Regenerate (only with a deliberate format-version bump):
+//
+//	go test ./internal/container -run TestGolden -update
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/blockcode"
+	"repro/internal/huffman"
+	"repro/internal/tritvec"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenScalar is a fixed golomb-style container exercising the scalar
+// parameter blob path.
+func goldenScalar(t *testing.T) *Container {
+	t.Helper()
+	return &Container{
+		Version:  Version2,
+		Codec:    "golomb",
+		Width:    12,
+		Patterns: 4,
+		Params:   []byte{0x00, 0x00, 0x00, 0x04}, // M=4, uint32 BE
+		Payload:  []byte{0xDE, 0xAD, 0xBE},
+		NBits:    21,
+	}
+}
+
+// goldenBlock is a fixed block-codec container exercising the MV-table
+// parameter blob path (EncodeBlockParams layout).
+func goldenBlock(t *testing.T) *Container {
+	t.Helper()
+	mv1 := tritvec.New(4) // 01XU
+	mv1.Set(0, tritvec.Zero)
+	mv1.Set(1, tritvec.One)
+	mv2 := tritvec.New(4) // UUUU
+	set, err := blockcode.NewMVSet(4, []tritvec.Vector{mv1, mv2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, err := huffman.Explicit([]int{1, 1}, []uint64{0b0, 0b1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	params, err := EncodeBlockParams(set, code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Container{
+		Version:  Version2,
+		Codec:    "ea",
+		Width:    8,
+		Patterns: 2,
+		Params:   params,
+		Payload:  []byte{0b10110100, 0b01000000},
+		NBits:    10,
+	}
+}
+
+func TestGoldenV2Layout(t *testing.T) {
+	cases := []struct {
+		file  string
+		build func(*testing.T) *Container
+	}{
+		{"golomb_v2.bin", goldenScalar},
+		{"block_v2.bin", goldenBlock},
+	}
+	for _, tc := range cases {
+		t.Run(tc.file, func(t *testing.T) {
+			c := tc.build(t)
+			var buf bytes.Buffer
+			if err := WriteV2(&buf, c); err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", tc.file)
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update after a deliberate format change): %v", err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Fatalf("container v2 byte layout changed!\n got % x\nwant % x\n"+
+					"The on-disk format is pinned; a layout change requires a version bump.",
+					buf.Bytes(), want)
+			}
+			// The golden bytes must also parse back to the same container.
+			got, err := ReadAny(bytes.NewReader(want))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Codec != c.Codec || got.Width != c.Width || got.Patterns != c.Patterns ||
+				got.NBits != c.NBits || !bytes.Equal(got.Params, c.Params) ||
+				!bytes.Equal(got.Payload, c.Payload) {
+				t.Fatalf("golden bytes parse to %+v, want %+v", got, c)
+			}
+		})
+	}
+}
+
+// TestGoldenHeaderPrefix pins the fixed header fields byte-for-byte so a
+// failure points at the exact field that moved.
+func TestGoldenHeaderPrefix(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteV2(&buf, goldenScalar(t)); err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{
+		'T', 'C', 'M', 'P', // magic
+		2,                            // version
+		6,                            // codec-name length
+		'g', 'o', 'l', 'o', 'm', 'b', // codec name
+		0x00, 0x00, 0x00, 0x0C, // width = 12
+		0x00, 0x00, 0x00, 0x04, // patterns = 4
+		0x00, 0x00, 0x00, 0x04, // paramLen = 4
+		0x00, 0x00, 0x00, 0x04, // params: M = 4
+		0x00, 0x00, 0x00, 0x15, // nbits = 21
+		0xDE, 0xAD, 0xBE, // payload
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("header layout changed:\n got % x\nwant % x", buf.Bytes(), want)
+	}
+}

@@ -9,10 +9,10 @@ import (
 	"fmt"
 	"strings"
 
+	tcomp "repro"
 	"repro/internal/core"
 	"repro/internal/ea"
 	"repro/internal/iscasgen"
-	"repro/internal/ninec"
 	"repro/internal/pipeline"
 	"repro/internal/testset"
 )
@@ -114,22 +114,46 @@ func (c Config) wants(name string) bool {
 	return false
 }
 
+// compress runs the named registered codec on ts — every column now
+// flows through the public codec registry rather than scheme-specific
+// entry points.
+func compress(ctx context.Context, name string, ts *testset.TestSet, opts ...tcomp.Option) (*tcomp.Artifact, error) {
+	codec, err := tcomp.Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	return codec.Compress(ctx, ts, opts...)
+}
+
+// compressEA runs the "ea" codec and returns its rich result.
+func compressEA(ctx context.Context, ts *testset.TestSet, p core.Params) (*core.Result, error) {
+	art, err := compress(ctx, "ea", ts, tcomp.WithEAParams(p))
+	if err != nil {
+		return nil, err
+	}
+	res, ok := art.Extra.(*core.Result)
+	if !ok {
+		return nil, fmt.Errorf("tables: ea artifact carries %T, want *core.Result", art.Extra)
+	}
+	return res, nil
+}
+
 // runRow measures all columns for one circuit.
 func (c Config) runRow(ctx context.Context, m iscasgen.Meta, ts *testset.TestSet) (Row, error) {
 	row := Row{Meta: m, Bits: ts.TotalBits()}
-	nine, err := ninec.Compress(ts, 8)
+	nine, err := compress(ctx, "9c", ts, tcomp.WithBlockLen(8))
 	if err != nil {
 		return row, fmt.Errorf("%s: 9C: %v", m.Name, err)
 	}
 	row.R9C = nine.RatePercent()
-	hc, err := ninec.CompressHC(ts, 8)
+	hc, err := compress(ctx, "9chc", ts, tcomp.WithBlockLen(8))
 	if err != nil {
 		return row, fmt.Errorf("%s: 9C+HC: %v", m.Name, err)
 	}
 	row.R9CHC = hc.RatePercent()
 
 	if m.Kind == iscasgen.StuckAt {
-		res, err := core.CompressCtx(ctx, ts, c.eaParams(12, 64, c.Seed))
+		res, err := compressEA(ctx, ts, c.eaParams(12, 64, c.Seed))
 		if err != nil {
 			return row, fmt.Errorf("%s: EA: %v", m.Name, err)
 		}
@@ -152,17 +176,57 @@ func (c Config) runRow(ctx context.Context, m iscasgen.Meta, ts *testset.TestSet
 	}
 
 	// Path delay: EA1 (K=8, L=9) and EA2 (K=12, L=64).
-	res1, err := core.CompressCtx(ctx, ts, c.eaParams(8, 9, c.Seed))
+	res1, err := compressEA(ctx, ts, c.eaParams(8, 9, c.Seed))
 	if err != nil {
 		return row, fmt.Errorf("%s: EA1: %v", m.Name, err)
 	}
 	row.REA = res1.AverageRate
-	res2, err := core.CompressCtx(ctx, ts, c.eaParams(12, 64, c.Seed))
+	res2, err := compressEA(ctx, ts, c.eaParams(12, 64, c.Seed))
 	if err != nil {
 		return row, fmt.Errorf("%s: EA2: %v", m.Name, err)
 	}
 	row.REA2 = res2.AverageRate
 	return row, nil
+}
+
+// CodecRate is one registered codec's outcome on a test set.
+type CodecRate struct {
+	Codec          string
+	Rate           float64
+	CompressedBits int
+}
+
+// CodecRates compresses ts with every codec in the registry — the
+// paper's full related-work comparison (RL, Golomb, FDR, selective
+// Huffman, 9C, 9C+HC, EA) — one pipeline job per codec, c.Workers wide.
+// Results are returned in registry (sorted-name) order regardless of
+// scheduling.
+func CodecRates(ctx context.Context, ts *testset.TestSet, c Config) ([]CodecRate, error) {
+	opts := []tcomp.Option{
+		tcomp.WithSeed(c.Seed),
+		tcomp.WithWorkers(c.Workers),
+		tcomp.WithEAParams(c.eaParams(12, 64, c.Seed)),
+	}
+	names := tcomp.Codecs()
+	jobs := make([]pipeline.Job[CodecRate], len(names))
+	for i, name := range names {
+		name := name
+		jobs[i] = pipeline.Job[CodecRate]{
+			Name: name,
+			Run: func(ctx context.Context, _ int64) (CodecRate, error) {
+				art, err := compress(ctx, name, ts, opts...)
+				if err != nil {
+					return CodecRate{}, fmt.Errorf("tables: %s: %v", name, err)
+				}
+				return CodecRate{Codec: name, Rate: art.RatePercent(), CompressedBits: art.CompressedBits}, nil
+			},
+		}
+	}
+	results, err := pipeline.Run(ctx, pipeline.Config{Workers: c.Workers}, jobs)
+	if err != nil {
+		return nil, err
+	}
+	return pipeline.Values(results), nil
 }
 
 // Run executes the experiment for one registry table.

@@ -6,14 +6,21 @@
 // baseline, classical run-length-family coders, and an on-chip decoder
 // model.
 //
-// Quick start:
+// Every scheme implements the Codec interface and is accessible through
+// the package registry; artifacts serialize to the universal container
+// format and round-trip regardless of method:
 //
 //	ts, _ := tcomp.ReadTestSet(file)
-//	res, _ := tcomp.CompressEA(ts, tcomp.DefaultEAParams(1))
-//	fmt.Printf("compression rate: %.1f%%\n", res.BestRate)
+//	codec, _ := tcomp.Lookup("ea") // or "9c", "9chc", "golomb", "fdr", "rl", "selhuff"
+//	art, _ := codec.Compress(ctx, ts, tcomp.WithSeed(1))
+//	fmt.Printf("compression rate: %.1f%%\n", art.RatePercent())
+//	tcomp.Write(f, art)     // self-describing container v2
+//	art, _ = tcomp.Open(f)  // codec auto-detected from the header
+//	dec, _ := tcomp.Decompress(art)
 //
 // See examples/ for end-to-end pipelines (ATPG → compression →
-// decompression → fault-coverage verification).
+// decompression → fault-coverage verification) and
+// examples/codes_comparison for a sweep over tcomp.Codecs().
 package tcomp
 
 import (
@@ -59,21 +66,32 @@ func ParseTestSet(patterns ...string) (*TestSet, error) { return testset.ParseSt
 func DefaultEAParams(seed int64) EAParams { return core.DefaultParams(seed) }
 
 // CompressEA compresses ts with evolutionary MV optimization (the paper's
-// proposed method).
+// proposed method). It is a thin wrapper kept for convenience; the
+// registry equivalent is Lookup("ea").Compress(ctx, ts,
+// WithEAParams(p)), whose artifact additionally serializes via Write.
 func CompressEA(ts *TestSet, p EAParams) (*EAResult, error) { return core.Compress(ts, p) }
 
 // Compress9C compresses ts with the original nine-coded baseline
 // (Tehranipour et al., fixed codewords), block length k (even).
+//
+// Deprecated: use Lookup("9c").Compress(ctx, ts, WithBlockLen(k)); the
+// resulting Artifact round-trips through Write/Open/Decompress.
 func Compress9C(ts *TestSet, k int) (*BlockResult, error) { return ninec.Compress(ts, k) }
 
 // Compress9CHC compresses ts with the 9C matching vectors and Huffman
 // codewords ("9C+HC").
+//
+// Deprecated: use Lookup("9chc").Compress(ctx, ts, WithBlockLen(k)); the
+// resulting Artifact round-trips through Write/Open/Decompress.
 func Compress9CHC(ts *TestSet, k int) (*BlockResult, error) { return ninec.CompressHC(ts, k) }
 
-// Decompress reconstructs the fully specified test set from a compression
-// result. The decoded patterns preserve every specified bit of the
-// original (don't-cares get concrete values).
-func Decompress(res *BlockResult, width int) (*TestSet, error) {
+// DecompressResult reconstructs the fully specified test set from a
+// block-codec compression result. The decoded patterns preserve every
+// specified bit of the original (don't-cares get concrete values).
+//
+// Deprecated: prefer the artifact path — Decompress(a *Artifact) — which
+// works for every registered codec, not just the block codecs.
+func DecompressResult(res *BlockResult, width int) (*TestSet, error) {
 	nblocks := (res.OriginalBits + res.Set.K - 1) / res.Set.K
 	blocks, err := blockcode.Decode(bitstream.FromWriter(res.Stream), res.Set, res.Code, nblocks)
 	if err != nil {

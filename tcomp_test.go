@@ -27,7 +27,7 @@ func TestFacadeEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	dec, err := Decompress(res.Final, ts.Width)
+	dec, err := DecompressResult(res.Final, ts.Width)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,7 +43,7 @@ func TestFacade9CEndToEnd(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		dec, err := Decompress(res, ts.Width)
+		dec, err := DecompressResult(res, ts.Width)
 		if err != nil {
 			t.Fatal(err)
 		}
