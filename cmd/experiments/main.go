@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"sort"
 	"strings"
 
@@ -37,6 +38,8 @@ func main() {
 		sweep     = flag.Bool("sweep", true, "compute the EA-Best sweep column (table 1)")
 		ablations = flag.String("ablations", "", "run the DESIGN.md §5 ablations on the named circuit instead of a table")
 		codecs    = flag.String("codecs", "", "compress the named circuit with every registered codec instead of a table")
+		streamCmp = flag.String("stream", "", "compare buffered vs chunked streaming compression for every codec on the named circuit")
+		chunk     = flag.Int("chunk", 0, "patterns per stream chunk for -stream (0 = streaming default)")
 		converge  = flag.String("convergence", "", "dump the EA best-fitness-per-generation series for the named circuit (Figure 1 data)")
 		workers   = flag.Int("workers", 0, "parallel circuit jobs on the pipeline engine (0 = one per CPU, 1 = serial; results are identical at any setting)")
 	)
@@ -105,6 +108,24 @@ func main() {
 		for _, r := range rates {
 			fmt.Printf("%-10s %7.1f%% %13db\n", r.Codec, r.Rate, r.CompressedBits)
 		}
+		return
+	}
+
+	if *streamCmp != "" {
+		m, err := iscasgen.Find(*streamCmp, iscasgen.StuckAt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ts, err := iscasgen.Generate(m, iscasgen.GenOptions{MaxBits: cfg.MaxBits, Seed: cfg.Seed})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rates, err := tables.StreamRates(context.Background(), ts, cfg, *chunk)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("Buffered vs streaming on %s (%d bits, seed %d):\n\n", m.Name, ts.TotalBits(), cfg.Seed)
+		tables.FormatStreamRates(os.Stdout, rates)
 		return
 	}
 

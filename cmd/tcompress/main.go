@@ -7,10 +7,17 @@
 //	tcompress -in tests.txt -out tests.tcmp -method ea -k 12 -l 64
 //	tcompress -in tests.txt -out tests.tcmp -method golomb
 //	tcompress -in tests.txt -method 9c -k 8 -stats
+//	tcompress -stream -method fdr < tests.txt > tests.tcmp
 //	tcompress -list
 //
 // Methods: every codec in the registry (ea, 9c, 9chc, golomb, fdr, rl,
 // selhuff); all of them support container output.
+//
+// With -stream the textual test set is compressed pattern-by-pattern
+// into a chunked stream container (format v3) at O(chunk) memory —
+// stdin to stdout works as a pipe stage, and chunk compression runs on
+// the pipeline worker pool without changing the output bytes. Expand
+// with tdecompress (-stream for constant-memory expansion).
 package main
 
 import (
@@ -47,6 +54,8 @@ func main() {
 		b       = flag.Int("b", 0, "run-length counter width in bits (rl; 0 = default 4)")
 		stats   = flag.Bool("stats", false, "print test-set statistics")
 		workers = flag.Int("workers", 0, "parallel EA runs on the pipeline engine (0 = one per CPU, 1 = serial; results are identical at any setting)")
+		stream  = flag.Bool("stream", false, "stream textual patterns through the chunked container format at O(chunk) memory (default stdin to stdout)")
+		chunk   = flag.Int("chunk", 0, "patterns per stream chunk (0 = about 1 Mbit of original data per chunk)")
 	)
 	flag.Parse()
 
@@ -70,13 +79,6 @@ func main() {
 		}
 		defer f.Close()
 		r = f
-	}
-	ts, err := testset.ReadAuto(r)
-	if err != nil {
-		log.Fatal(err)
-	}
-	if *stats {
-		fmt.Println(ts.Summary())
 	}
 
 	// The EA honors cancellation down to the pipeline engine, so Ctrl-C
@@ -111,6 +113,22 @@ func main() {
 	if *b > 0 {
 		opts = append(opts, tcomp.WithCounterWidth(*b))
 	}
+	if *chunk > 0 {
+		opts = append(opts, tcomp.WithChunkPatterns(*chunk))
+	}
+
+	if *stream {
+		runStream(ctx, r, *out, *method, opts, *stats)
+		return
+	}
+
+	ts, err := testset.ReadAuto(r)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *stats {
+		fmt.Println(ts.Summary())
+	}
 
 	art, err := codec.Compress(ctx, ts, opts...)
 	if err != nil {
@@ -134,4 +152,62 @@ func main() {
 		}
 		fmt.Printf("wrote %s (container v2, codec %s)\n", *out, art.Codec)
 	}
+}
+
+// runStream compresses the textual test set on r pattern-by-pattern into
+// a chunked stream container, without ever holding more than the
+// in-flight chunks in memory. Diagnostics go to stderr because stdout is
+// the default container sink.
+func runStream(ctx context.Context, r io.Reader, out, method string, opts []tcomp.Option, stats bool) {
+	sc, err := testset.NewScanner(r)
+	if err != nil {
+		log.Fatalf("-stream expects the textual test-set format: %v", err)
+	}
+	var w io.Writer = os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	sw, err := tcomp.NewStreamWriter(ctx, w, method, sc.Width(), opts...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	specified := 0
+	for {
+		v, err := sc.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		if stats {
+			specified += v.CountSpecified()
+		}
+		if err := sw.WritePattern(v); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := sw.Close(); err != nil {
+		log.Fatal(err)
+	}
+	if stats {
+		// The incremental twin of the buffered path's ts.Summary().
+		s := testset.Stats{
+			Width:     sc.Width(),
+			Patterns:  sw.Patterns(),
+			TotalBits: sw.OriginalBits(),
+			Specified: specified,
+		}
+		if s.TotalBits > 0 {
+			s.CareDensity = float64(s.Specified) / float64(s.TotalBits)
+		}
+		fmt.Fprintln(os.Stderr, s)
+	}
+	fmt.Fprintf(os.Stderr, "%s: rate %.2f%% (%d -> %d bits), %d patterns in %d chunks (chunked stream container)\n",
+		method, sw.RatePercent(), sw.OriginalBits(), sw.CompressedBits(), sw.Patterns(), sw.Chunks())
 }

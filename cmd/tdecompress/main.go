@@ -3,15 +3,21 @@
 // original. The compression method is auto-detected from the container
 // header — every registered codec (ea, 9c, 9chc, golomb, fdr, rl,
 // selhuff) round-trips, and legacy v1 block-codec files remain readable.
+// Chunked stream containers (format v3, written by tcompress -stream)
+// are auto-detected too; add -stream to expand them at O(chunk) memory
+// with a pipe-friendly stdin-to-stdout flow.
 //
 // Usage:
 //
 //	tdecompress -in tests.tcmp -out expanded.txt [-verify tests.txt]
+//	tdecompress -stream < tests.tcmp > expanded.txt
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 
@@ -26,16 +32,38 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("tdecompress: ")
 	var (
-		in     = flag.String("in", "", "input container file")
+		in     = flag.String("in", "", "input container file (default stdin)")
 		out    = flag.String("out", "", "output test-set file (default stdout)")
 		verify = flag.String("verify", "", "original test-set file to verify against")
 		fsm    = flag.Bool("fsm", false, "decode through the hardware FSM model and report cycles (block codecs only)")
+		stream = flag.Bool("stream", false, "expand a chunked stream container pattern-by-pattern at O(chunk) memory")
 	)
 	flag.Parse()
-	if *in == "" {
-		log.Fatal("-in is required")
+
+	var r io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		r = f
 	}
-	art, err := tcomp.OpenFile(*in)
+	// Peek at magic+version so chunked containers are routed to the
+	// streaming reader even without -stream.
+	br := bufio.NewReader(r)
+	hdr, err := br.Peek(5)
+	chunked := err == nil && len(hdr) == 5 && string(hdr[:4]) == "TCMP" && hdr[4] == container.Version3
+
+	if *stream || chunked {
+		if *fsm {
+			log.Fatal("-fsm applies to buffered block-codec containers, not chunked streams")
+		}
+		runStream(br, *out, *verify)
+		return
+	}
+
+	art, err := tcomp.Open(br)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -103,4 +131,79 @@ func main() {
 	if err := ts.Write(w); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// runStream expands a chunked stream container pattern-by-pattern at
+// O(chunk) memory: the textual output carries a streaming ("width *")
+// header, and -verify reads the original incrementally too, so nothing
+// is ever buffered whole.
+func runStream(r io.Reader, out, verify string) {
+	sr, err := tcomp.NewStreamReader(r)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "container: codec %s, chunked stream, width %d, %d patterns/chunk\n",
+		sr.Codec(), sr.Width(), sr.ChunkPatterns())
+
+	var origSc *testset.Scanner
+	if verify != "" {
+		vf, err := os.Open(verify)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer vf.Close()
+		if origSc, err = testset.NewScanner(bufio.NewReader(vf)); err != nil {
+			log.Fatal(err)
+		}
+		if origSc.Width() != sr.Width() {
+			log.Fatalf("verification FAILED: original width %d, container width %d", origSc.Width(), sr.Width())
+		}
+	}
+
+	var w io.Writer = os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	pw, err := testset.NewPatternWriter(w, sr.Width())
+	if err != nil {
+		log.Fatal(err)
+	}
+	n := 0
+	for {
+		v, err := sr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		if origSc != nil {
+			o, err := origSc.Next()
+			if err != nil {
+				log.Fatalf("verification FAILED: original ended at pattern %d: %v", n, err)
+			}
+			if !o.Subsumes(v) {
+				log.Fatalf("verification FAILED: pattern %d does not preserve the original's specified bits", n)
+			}
+		}
+		if err := pw.WritePattern(v); err != nil {
+			log.Fatal(err)
+		}
+		n++
+	}
+	if err := pw.Close(); err != nil {
+		log.Fatal(err)
+	}
+	if origSc != nil {
+		if _, err := origSc.Next(); err != io.EOF {
+			log.Fatalf("verification FAILED: original has more than %d patterns", n)
+		}
+		fmt.Fprintln(os.Stderr, "verification OK: all specified bits preserved")
+	}
+	fmt.Fprintf(os.Stderr, "expanded %d patterns\n", n)
 }

@@ -40,16 +40,17 @@ type Codec interface {
 // which fields it reads; unknown fields are ignored, so one option list
 // can be passed to all codecs (as examples/codes_comparison does).
 type options struct {
-	seed     int64
-	seedSet  bool
-	blockLen int
-	mvCount  int
-	runs     int
-	workers  int
-	golombM  int
-	dictSize int
-	counterW int
-	ea       *EAParams
+	seed      int64
+	seedSet   bool
+	blockLen  int
+	mvCount   int
+	runs      int
+	workers   int
+	golombM   int
+	dictSize  int
+	counterW  int
+	chunkPats int
+	ea        *EAParams
 }
 
 func buildOptions(opts []Option) options {
@@ -104,6 +105,11 @@ func WithDictSize(d int) Option { return func(o *options) { o.dictSize = d } }
 // WithCounterWidth sets the run-length counter width b in bits (0 =
 // default 4). Read by: rl.
 func WithCounterWidth(b int) Option { return func(o *options) { o.counterW = b } }
+
+// WithChunkPatterns sets the number of test patterns per chunk frame in
+// the streaming path (0 = size chunks to about DefaultChunkBits original
+// bits). Read by: NewStreamWriter; codecs ignore it.
+func WithChunkPatterns(n int) Option { return func(o *options) { o.chunkPats = n } }
 
 var (
 	registryMu sync.RWMutex

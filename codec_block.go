@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 
-	"repro/internal/bitstream"
 	"repro/internal/blockcode"
 	"repro/internal/container"
 	"repro/internal/core"
@@ -61,7 +60,7 @@ func (c *blockCodec) Decompress(a *Artifact) (*TestSet, error) {
 	}
 	total := a.Width * a.Patterns
 	nblocks := (total + set.K - 1) / set.K
-	blocks, err := blockcode.Decode(bitstream.NewReader(a.Payload, a.NBits), set, code, nblocks)
+	blocks, err := blockcode.Decode(a.Source(), set, code, nblocks)
 	if err != nil {
 		return nil, err
 	}

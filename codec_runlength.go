@@ -5,7 +5,6 @@ import (
 	"encoding/binary"
 	"fmt"
 
-	"repro/internal/bitstream"
 	"repro/internal/fdr"
 	"repro/internal/golomb"
 	"repro/internal/runlength"
@@ -75,7 +74,7 @@ func (golombCodec) Decompress(a *Artifact) (*TestSet, error) {
 	if m < 1 || m > maxGolombM {
 		return nil, fmt.Errorf("tcomp: golomb M %d out of range [1,%d]", m, maxGolombM)
 	}
-	flat, err := golomb.Decompress(bitstream.NewReader(a.Payload, a.NBits), m, a.Width*a.Patterns)
+	flat, err := golomb.Decompress(a.Source(), m, a.Width*a.Patterns)
 	if err != nil {
 		return nil, err
 	}
@@ -110,7 +109,7 @@ func (fdrCodec) Decompress(a *Artifact) (*TestSet, error) {
 	if len(a.Params) != 0 {
 		return nil, fmt.Errorf("tcomp: fdr expects an empty parameter blob, got %d bytes", len(a.Params))
 	}
-	flat, err := fdr.Decompress(bitstream.NewReader(a.Payload, a.NBits), a.Width*a.Patterns)
+	flat, err := fdr.Decompress(a.Source(), a.Width*a.Patterns)
 	if err != nil {
 		return nil, err
 	}
@@ -155,7 +154,7 @@ func (rlCodec) Decompress(a *Artifact) (*TestSet, error) {
 	if b < 1 || b > 30 {
 		return nil, fmt.Errorf("tcomp: rl counter width %d out of range [1,30]", b)
 	}
-	flat, err := runlength.Decompress(bitstream.NewReader(a.Payload, a.NBits), b, a.Width*a.Patterns)
+	flat, err := runlength.Decompress(a.Source(), b, a.Width*a.Patterns)
 	if err != nil {
 		return nil, err
 	}

@@ -6,7 +6,6 @@ import (
 	"encoding/binary"
 	"fmt"
 
-	"repro/internal/bitstream"
 	"repro/internal/huffman"
 	"repro/internal/selhuff"
 )
@@ -58,7 +57,7 @@ func (selhuffCodec) Decompress(a *Artifact) (*TestSet, error) {
 	if err != nil {
 		return nil, err
 	}
-	flat, err := selhuff.Decompress(bitstream.NewReader(a.Payload, a.NBits), res, a.Width*a.Patterns)
+	flat, err := selhuff.Decompress(a.Source(), res, a.Width*a.Patterns)
 	if err != nil {
 		return nil, err
 	}

@@ -1,15 +1,41 @@
 // Package bitstream provides MSB-first bit-level writers and readers for
 // compressed test data. Codewords are emitted most-significant-bit first so
 // that a prefix code can be decoded by walking bits in stream order.
+//
+// The hot paths are word-at-a-time: WriteBits splits its 64-bit argument
+// into whole output bytes instead of looping per bit, ReadBits gathers
+// whole bytes into a 64-bit word, and StreamReader keeps a 64-bit
+// accumulator refilled from an io.Reader so decoding never needs the full
+// payload in memory.
 package bitstream
 
 import (
 	"errors"
 	"fmt"
+	"io"
 )
 
-// ErrEOS is returned when reading past the end of the stream.
+// ErrEOS is returned when reading past the end of the stream. Errors from
+// refilling readers wrap it; test with errors.Is(err, ErrEOS).
 var ErrEOS = errors.New("bitstream: end of stream")
+
+// ErrBitCount is returned (wrapped) by the checked APIs when a bit count
+// lies outside [0,64]. The legacy WriteBits/ReadBits panic instead, which
+// is appropriate for programmer error but not for counts derived from
+// hostile input — streaming paths use TryWriteBits / StreamReader, which
+// return this error.
+var ErrBitCount = errors.New("bitstream: bit count out of range [0,64]")
+
+// Source is the bit-level input every decoder in the repo consumes: the
+// in-memory Reader and the io.Reader-fed StreamReader both implement it,
+// so the same decode code serves the buffered and the streaming paths.
+type Source interface {
+	// ReadBit returns the next bit. At end of stream the error satisfies
+	// errors.Is(err, ErrEOS).
+	ReadBit() (uint, error)
+	// ReadBits reads n bits MSB-first into the low bits of the result.
+	ReadBits(n int) (uint64, error)
+}
 
 // Writer accumulates bits MSB-first into a byte buffer.
 type Writer struct {
@@ -22,23 +48,60 @@ func NewWriter() *Writer { return &Writer{} }
 
 // WriteBit appends a single bit (0 or 1).
 func (w *Writer) WriteBit(b uint) {
-	if w.nbit%8 == 0 {
+	if w.nbit&7 == 0 {
 		w.buf = append(w.buf, 0)
 	}
 	if b != 0 {
-		w.buf[w.nbit/8] |= 0x80 >> uint(w.nbit%8)
+		w.buf[w.nbit>>3] |= 0x80 >> uint(w.nbit&7)
 	}
 	w.nbit++
 }
 
-// WriteBits appends the low n bits of v, most significant first.
+// WriteBits appends the low n bits of v, most significant first. It
+// panics if n is outside [0,64]; use TryWriteBits when n comes from
+// untrusted input.
 func (w *Writer) WriteBits(v uint64, n int) {
-	if n < 0 || n > 64 {
+	if err := w.TryWriteBits(v, n); err != nil {
 		panic(fmt.Sprintf("bitstream: WriteBits n=%d", n))
 	}
-	for i := n - 1; i >= 0; i-- {
-		w.WriteBit(uint(v >> uint(i) & 1))
+}
+
+// TryWriteBits appends the low n bits of v, most significant first,
+// returning an error wrapping ErrBitCount when n is outside [0,64]. This
+// is the checked entry point for streaming code paths where n may derive
+// from hostile input.
+func (w *Writer) TryWriteBits(v uint64, n int) error {
+	if n < 0 || n > 64 {
+		return fmt.Errorf("bitstream: WriteBits n=%d: %w", n, ErrBitCount)
 	}
+	if n == 0 {
+		return nil
+	}
+	if n < 64 {
+		v &= 1<<uint(n) - 1
+	}
+	// Fill the free low bits of the current partial byte.
+	if free := len(w.buf)*8 - w.nbit; free > 0 {
+		if n <= free {
+			w.buf[len(w.buf)-1] |= byte(v << uint(free-n))
+			w.nbit += n
+			return nil
+		}
+		w.buf[len(w.buf)-1] |= byte(v >> uint(n-free))
+		w.nbit += free
+		n -= free
+	}
+	// Append whole bytes, most significant first.
+	for n >= 8 {
+		n -= 8
+		w.buf = append(w.buf, byte(v>>uint(n)))
+		w.nbit += 8
+	}
+	if n > 0 {
+		w.buf = append(w.buf, byte(v<<uint(8-n)))
+		w.nbit += n
+	}
+	return nil
 }
 
 // Len returns the number of bits written.
@@ -80,23 +143,46 @@ func (r *Reader) ReadBit() (uint, error) {
 	if r.pos >= r.nbit {
 		return 0, ErrEOS
 	}
-	b := uint(r.buf[r.pos/8] >> uint(7-r.pos%8) & 1)
+	b := uint(r.buf[r.pos>>3] >> uint(7-r.pos&7) & 1)
 	r.pos++
 	return b, nil
 }
 
-// ReadBits reads n bits MSB-first into the low bits of the result.
+// ReadBits reads n bits MSB-first into the low bits of the result. It
+// gathers whole bytes rather than looping per bit.
 func (r *Reader) ReadBits(n int) (uint64, error) {
 	if n < 0 || n > 64 {
 		panic(fmt.Sprintf("bitstream: ReadBits n=%d", n))
 	}
+	if r.pos+n > r.nbit {
+		return 0, ErrEOS
+	}
+	if n == 0 {
+		return 0, nil
+	}
+	p := r.pos
+	r.pos += n
 	var v uint64
-	for i := 0; i < n; i++ {
-		b, err := r.ReadBit()
-		if err != nil {
-			return 0, err
+	// Head: finish the current partial byte.
+	if off := p & 7; off != 0 {
+		b := uint64(r.buf[p>>3]) & (0xFF >> uint(off))
+		take := 8 - off
+		if n <= take {
+			return b >> uint(take-n), nil
 		}
-		v = v<<1 | uint64(b)
+		v = b
+		n -= take
+		p += take
+	}
+	// Body: whole bytes.
+	for n >= 8 {
+		v = v<<8 | uint64(r.buf[p>>3])
+		p += 8
+		n -= 8
+	}
+	// Tail: high bits of the next byte.
+	if n > 0 {
+		v = v<<uint(n) | uint64(r.buf[p>>3])>>uint(8-n)
 	}
 	return v, nil
 }
@@ -106,3 +192,129 @@ func (r *Reader) Remaining() int { return r.nbit - r.pos }
 
 // Pos returns the number of bits consumed so far.
 func (r *Reader) Pos() int { return r.pos }
+
+// StreamReader consumes bits MSB-first from an io.Reader through a 64-bit
+// accumulator, refilling in bounded chunks so decoding never needs the
+// full payload in memory. A non-negative limit bounds the number of bits
+// exposed (the payload's bit count, excluding the final byte's padding);
+// a negative limit exposes everything until EOF.
+//
+// All end-of-stream and validation errors wrap ErrEOS / ErrBitCount, so
+// callers test with errors.Is; StreamReader never panics on hostile
+// input.
+type StreamReader struct {
+	src   io.Reader
+	limit int // total bits exposed, -1 = until EOF
+	pos   int // bits consumed
+	acc   uint64
+	nacc  int // valid low bits of acc
+	buf   []byte
+	pend  []byte // unread refill bytes
+	err   error  // sticky source error (io.EOF included)
+}
+
+// streamChunk is the refill granularity: small enough that a hostile
+// length field costs nothing, large enough to amortize Read calls.
+const streamChunk = 4 << 10
+
+// NewStreamReader returns a StreamReader over src exposing nbits bits
+// (negative = until EOF).
+func NewStreamReader(src io.Reader, nbits int) *StreamReader {
+	if nbits < 0 {
+		nbits = -1
+	}
+	return &StreamReader{src: src, limit: nbits, buf: make([]byte, streamChunk)}
+}
+
+// refill moves source bytes into the accumulator until it holds more
+// than 56 bits or the source is exhausted. A transient (0, nil) read is
+// retried, as io.ReadAtLeast does — only an error (including io.EOF)
+// ends the stream.
+func (r *StreamReader) refill() {
+	for r.nacc <= 56 {
+		for len(r.pend) == 0 {
+			if r.err != nil {
+				return
+			}
+			n, err := r.src.Read(r.buf)
+			if n > 0 {
+				r.pend = r.buf[:n]
+			}
+			if err != nil {
+				r.err = err
+			}
+		}
+		r.acc = r.acc<<8 | uint64(r.pend[0])
+		r.pend = r.pend[1:]
+		r.nacc += 8
+	}
+}
+
+// eosError reports why n more bits are unavailable: a true source error,
+// or end of stream (always wrapping ErrEOS).
+func (r *StreamReader) eosError(n int) error {
+	if r.err != nil && r.err != io.EOF {
+		return fmt.Errorf("bitstream: read %d bits at offset %d: %w", n, r.pos, r.err)
+	}
+	return fmt.Errorf("bitstream: need %d bits at offset %d: %w", n, r.pos, ErrEOS)
+}
+
+// ReadBit returns the next bit.
+func (r *StreamReader) ReadBit() (uint, error) {
+	if r.limit >= 0 && r.pos >= r.limit {
+		return 0, r.eosError(1)
+	}
+	if r.nacc == 0 {
+		r.refill()
+		if r.nacc == 0 {
+			return 0, r.eosError(1)
+		}
+	}
+	r.nacc--
+	r.pos++
+	return uint(r.acc >> uint(r.nacc) & 1), nil
+}
+
+// ReadBits reads n bits MSB-first into the low bits of the result. Unlike
+// the in-memory Reader it returns an error wrapping ErrBitCount (rather
+// than panicking) when n is outside [0,64].
+func (r *StreamReader) ReadBits(n int) (uint64, error) {
+	if n < 0 || n > 64 {
+		return 0, fmt.Errorf("bitstream: ReadBits n=%d: %w", n, ErrBitCount)
+	}
+	if n == 0 {
+		return 0, nil
+	}
+	if r.limit >= 0 && r.pos+n > r.limit {
+		return 0, r.eosError(n)
+	}
+	if n > 56 {
+		// The accumulator refills to at least 57 bits, so split once.
+		hi, err := r.ReadBits(n - 32)
+		if err != nil {
+			return 0, err
+		}
+		lo, err := r.ReadBits(32)
+		if err != nil {
+			return 0, err
+		}
+		return hi<<32 | lo, nil
+	}
+	if r.nacc < n {
+		r.refill()
+		if r.nacc < n {
+			return 0, r.eosError(n)
+		}
+	}
+	r.nacc -= n
+	r.pos += n
+	return r.acc >> uint(r.nacc) & (1<<uint(n) - 1), nil
+}
+
+// Pos returns the number of bits consumed so far.
+func (r *StreamReader) Pos() int { return r.pos }
+
+var (
+	_ Source = (*Reader)(nil)
+	_ Source = (*StreamReader)(nil)
+)

@@ -1,0 +1,349 @@
+package bitstream
+
+// Property-based tests for the word-at-a-time fast paths. The reference
+// implementations below are the original bit-at-a-time loops, kept here
+// verbatim: every random (v,n) sequence must produce byte-identical
+// buffers through both writers and identical values through all three
+// readers (in-memory word-wise, reference bit-wise, io.Reader-fed
+// streaming).
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+)
+
+// refWriter is the pre-word-at-a-time Writer: one append per bit.
+type refWriter struct {
+	buf  []byte
+	nbit int
+}
+
+func (w *refWriter) writeBit(b uint) {
+	if w.nbit%8 == 0 {
+		w.buf = append(w.buf, 0)
+	}
+	if b != 0 {
+		w.buf[w.nbit/8] |= 0x80 >> uint(w.nbit%8)
+	}
+	w.nbit++
+}
+
+func (w *refWriter) writeBits(v uint64, n int) {
+	for i := n - 1; i >= 0; i-- {
+		w.writeBit(uint(v >> uint(i) & 1))
+	}
+}
+
+// refRead is the pre-word-at-a-time ReadBits: one ReadBit per bit.
+func refRead(r *Reader, n int) (uint64, error) {
+	var v uint64
+	for i := 0; i < n; i++ {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		v = v<<1 | uint64(b)
+	}
+	return v, nil
+}
+
+type op struct {
+	v uint64
+	n int
+}
+
+// randomOps derives a (v,n) sequence from a seed, mixing WriteBits sizes
+// with single-bit writes (the dominant codec pattern).
+func randomOps(seed int64, count int) []op {
+	rng := rand.New(rand.NewSource(seed))
+	ops := make([]op, count)
+	for i := range ops {
+		var n int
+		switch rng.Intn(4) {
+		case 0:
+			n = 1
+		case 1:
+			n = rng.Intn(8) + 1
+		case 2:
+			n = rng.Intn(32) + 1
+		default:
+			n = rng.Intn(64) + 1
+		}
+		v := rng.Uint64()
+		if n < 64 {
+			v &= 1<<uint(n) - 1
+		}
+		ops[i] = op{v, n}
+	}
+	return ops
+}
+
+func TestWordWriterMatchesReference(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		ops := randomOps(seed, 1+int(seed%97))
+		w := NewWriter()
+		ref := &refWriter{}
+		for _, o := range ops {
+			w.WriteBits(o.v, o.n)
+			ref.writeBits(o.v, o.n)
+		}
+		if w.Len() != ref.nbit {
+			t.Fatalf("seed %d: fast Len %d, reference %d", seed, w.Len(), ref.nbit)
+		}
+		if !bytes.Equal(w.Bytes(), ref.buf) {
+			t.Fatalf("seed %d: fast writer bytes diverge from bit-at-a-time reference", seed)
+		}
+	}
+}
+
+func TestWordReaderMatchesReference(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		ops := randomOps(seed, 1+int(seed%83))
+		w := NewWriter()
+		for _, o := range ops {
+			w.WriteBits(o.v, o.n)
+		}
+		fast := FromWriter(w)
+		ref := FromWriter(w)
+		stream := NewStreamReader(bytes.NewReader(w.Bytes()), w.Len())
+		for i, o := range ops {
+			fv, ferr := fast.ReadBits(o.n)
+			rv, rerr := refRead(ref, o.n)
+			sv, serr := stream.ReadBits(o.n)
+			if ferr != nil || rerr != nil || serr != nil {
+				t.Fatalf("seed %d op %d: errors %v/%v/%v", seed, i, ferr, rerr, serr)
+			}
+			if fv != o.v || rv != o.v || sv != o.v {
+				t.Fatalf("seed %d op %d: wrote %x/%d, read fast=%x ref=%x stream=%x",
+					seed, i, o.v, o.n, fv, rv, sv)
+			}
+		}
+		if fast.Remaining() != 0 {
+			t.Fatalf("seed %d: %d bits left over", seed, fast.Remaining())
+		}
+		if _, err := stream.ReadBit(); !errors.Is(err, ErrEOS) {
+			t.Fatalf("seed %d: stream reader past end: %v", seed, err)
+		}
+	}
+}
+
+// TestInterleavedBitAndWord mixes WriteBit with WriteBits at every
+// alignment, the pattern the prefix-code encoders produce.
+func TestInterleavedBitAndWord(t *testing.T) {
+	for lead := 0; lead < 9; lead++ {
+		for n := 0; n <= 64; n++ {
+			w := NewWriter()
+			ref := &refWriter{}
+			for i := 0; i < lead; i++ {
+				w.WriteBit(uint(i) & 1)
+				ref.writeBit(uint(i) & 1)
+			}
+			v := uint64(0xA5A5A5A5A5A5A5A5)
+			if n < 64 {
+				v &= 1<<uint(n) - 1
+			}
+			w.WriteBits(v, n)
+			ref.writeBits(v, n)
+			w.WriteBit(1)
+			ref.writeBit(1)
+			if !bytes.Equal(w.Bytes(), ref.buf) || w.Len() != ref.nbit {
+				t.Fatalf("lead=%d n=%d: divergence from reference", lead, n)
+			}
+		}
+	}
+}
+
+// TestStreamReaderTinyReads feeds the streaming reader through a
+// one-byte-at-a-time source to exercise every refill boundary.
+func TestStreamReaderTinyReads(t *testing.T) {
+	ops := randomOps(42, 300)
+	w := NewWriter()
+	for _, o := range ops {
+		w.WriteBits(o.v, o.n)
+	}
+	sr := NewStreamReader(&oneByteReader{data: w.Bytes()}, w.Len())
+	for i, o := range ops {
+		v, err := sr.ReadBits(o.n)
+		if err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+		if v != o.v {
+			t.Fatalf("op %d: got %x want %x", i, v, o.v)
+		}
+	}
+}
+
+// oneByteReader returns one byte per Read call.
+type oneByteReader struct{ data []byte }
+
+func (s *oneByteReader) Read(p []byte) (int, error) {
+	if len(s.data) == 0 {
+		return 0, io.EOF
+	}
+	p[0] = s.data[0]
+	s.data = s.data[1:]
+	return 1, nil
+}
+
+func TestStreamReaderLimit(t *testing.T) {
+	data := []byte{0xFF, 0xFF}
+	sr := NewStreamReader(bytes.NewReader(data), 10)
+	if v, err := sr.ReadBits(10); err != nil || v != 0x3FF {
+		t.Fatalf("got %x err %v", v, err)
+	}
+	if _, err := sr.ReadBit(); !errors.Is(err, ErrEOS) {
+		t.Fatalf("limit not enforced: %v", err)
+	}
+	if sr.Pos() != 10 {
+		t.Fatalf("Pos=%d want 10", sr.Pos())
+	}
+	// A limit the source cannot satisfy surfaces as wrapped EOS.
+	sr = NewStreamReader(bytes.NewReader(data), 100)
+	if _, err := sr.ReadBits(64); !errors.Is(err, ErrEOS) {
+		t.Fatalf("truncated source: %v", err)
+	}
+}
+
+func TestStreamReaderWideReads(t *testing.T) {
+	w := NewWriter()
+	vals := []uint64{0, 1, 0xFFFFFFFFFFFFFFFF, 0x8000000000000001, 0xDEADBEEFCAFEF00D}
+	for _, v := range vals {
+		w.WriteBits(v, 64)
+		w.WriteBits(v&0x1FFFFFFFFFFFFFF, 57)
+	}
+	sr := NewStreamReader(bytes.NewReader(w.Bytes()), w.Len())
+	for i, v := range vals {
+		got, err := sr.ReadBits(64)
+		if err != nil || got != v {
+			t.Fatalf("val %d: got %x err %v", i, got, err)
+		}
+		got, err = sr.ReadBits(57)
+		if err != nil || got != v&0x1FFFFFFFFFFFFFF {
+			t.Fatalf("val %d (57-bit): got %x err %v", i, got, err)
+		}
+	}
+}
+
+// FuzzBitstreamWords interprets the fuzz input as a (v,n) op sequence
+// and cross-checks the word-wise writer/readers against the
+// bit-at-a-time reference on every mutation.
+func FuzzBitstreamWords(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 0xFF})
+	f.Add([]byte{64, 1, 2, 3, 4, 5, 6, 7, 8, 33, 0xAA, 0xBB, 0xCC, 0xDD, 0xEE})
+	f.Add([]byte{8, 0x80, 57, 1, 2, 3, 4, 5, 6, 7, 3, 0x05, 64, 9, 9, 9, 9, 9, 9, 9, 9})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var ops []op
+		for len(data) > 0 {
+			n := int(data[0])%64 + 1
+			data = data[1:]
+			nbytes := (n + 7) / 8
+			var v uint64
+			for i := 0; i < nbytes; i++ {
+				v <<= 8
+				if i < len(data) {
+					v |= uint64(data[i])
+				}
+			}
+			if nbytes <= len(data) {
+				data = data[nbytes:]
+			} else {
+				data = nil
+			}
+			if n < 64 {
+				v &= 1<<uint(n) - 1
+			}
+			ops = append(ops, op{v, n})
+			if len(ops) >= 1<<12 {
+				break
+			}
+		}
+		w := NewWriter()
+		ref := &refWriter{}
+		for _, o := range ops {
+			if err := w.TryWriteBits(o.v, o.n); err != nil {
+				t.Fatalf("TryWriteBits(%x, %d): %v", o.v, o.n, err)
+			}
+			ref.writeBits(o.v, o.n)
+		}
+		if !bytes.Equal(w.Bytes(), ref.buf) || w.Len() != ref.nbit {
+			t.Fatal("word-wise writer diverges from bit-at-a-time reference")
+		}
+		fast := FromWriter(w)
+		stream := NewStreamReader(bytes.NewReader(w.Bytes()), w.Len())
+		for i, o := range ops {
+			fv, err := fast.ReadBits(o.n)
+			if err != nil {
+				t.Fatalf("op %d: fast read: %v", i, err)
+			}
+			sv, err := stream.ReadBits(o.n)
+			if err != nil {
+				t.Fatalf("op %d: stream read: %v", i, err)
+			}
+			if fv != o.v || sv != o.v {
+				t.Fatalf("op %d: wrote %x/%d, read fast=%x stream=%x", i, o.v, o.n, fv, sv)
+			}
+		}
+	})
+}
+
+func BenchmarkBitstreamWrite(b *testing.B) {
+	ops := randomOps(1, 4096)
+	b.Run("WriteBits", func(b *testing.B) {
+		w := NewWriter()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			w.Reset()
+			for _, o := range ops {
+				w.WriteBits(o.v, o.n)
+			}
+		}
+		b.SetBytes(int64(w.Len() / 8))
+	})
+	b.Run("WriteBit", func(b *testing.B) {
+		w := NewWriter()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			w.Reset()
+			for j := 0; j < 4096; j++ {
+				w.WriteBit(uint(j) & 1)
+			}
+		}
+		b.SetBytes(4096 / 8)
+	})
+}
+
+func BenchmarkBitstreamRead(b *testing.B) {
+	ops := randomOps(2, 4096)
+	w := NewWriter()
+	for _, o := range ops {
+		w.WriteBits(o.v, o.n)
+	}
+	b.Run("ReadBits", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(w.Len() / 8))
+		for i := 0; i < b.N; i++ {
+			r := FromWriter(w)
+			for _, o := range ops {
+				if _, err := r.ReadBits(o.n); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("StreamReader", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(w.Len() / 8))
+		for i := 0; i < b.N; i++ {
+			r := NewStreamReader(bytes.NewReader(w.Bytes()), w.Len())
+			for _, o := range ops {
+				if _, err := r.ReadBits(o.n); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}

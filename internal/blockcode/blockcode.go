@@ -247,10 +247,11 @@ func Encode(blocks []tritvec.Vector, res *Result) (*bitstream.Writer, error) {
 	return w, nil
 }
 
-// Decode reconstructs nblocks fully-specified blocks from the bitstream.
-// Each decoded block consists of the MV's specified bits with the
-// transmitted fill bits at its U positions.
-func Decode(r *bitstream.Reader, set *MVSet, code *huffman.Code, nblocks int) ([]tritvec.Vector, error) {
+// Decode reconstructs nblocks fully-specified blocks from any bit source
+// (the in-memory reader or the io.Reader-fed streaming one). Each decoded
+// block consists of the MV's specified bits with the transmitted fill
+// bits at its U positions. Truncation errors wrap bitstream.ErrEOS.
+func Decode(r bitstream.Source, set *MVSet, code *huffman.Code, nblocks int) ([]tritvec.Vector, error) {
 	dec, err := huffman.NewDecoder(code)
 	if err != nil {
 		return nil, err
@@ -259,7 +260,7 @@ func Decode(r *bitstream.Reader, set *MVSet, code *huffman.Code, nblocks int) ([
 	for b := 0; b < nblocks; b++ {
 		sym, err := dec.Decode(r.ReadBit)
 		if err != nil {
-			return nil, fmt.Errorf("blockcode: block %d: %v", b, err)
+			return nil, fmt.Errorf("blockcode: block %d: %w", b, err)
 		}
 		if sym < 0 || sym >= len(set.MVs) {
 			return nil, fmt.Errorf("blockcode: decoded invalid MV index %d", sym)
@@ -268,7 +269,7 @@ func Decode(r *bitstream.Reader, set *MVSet, code *huffman.Code, nblocks int) ([
 		for _, pos := range set.MVs[sym].XPositions() {
 			bit, err := r.ReadBit()
 			if err != nil {
-				return nil, fmt.Errorf("blockcode: block %d fill: %v", b, err)
+				return nil, fmt.Errorf("blockcode: block %d fill: %w", b, err)
 			}
 			if bit == 1 {
 				blk.Set(pos, tritvec.One)

@@ -1,0 +1,352 @@
+// Format v3: the chunked stream container. Where v2 stores one
+// monolithic payload (and therefore forces both ends to buffer the whole
+// artifact), v3 carries a sequence of independently compressed chunk
+// frames, each covering a fixed number of test patterns, so writer and
+// reader run at O(chunk) memory over arbitrarily large test sets — the
+// software twin of the paper's bit-serial on-chip decoder.
+//
+// Layout (big-endian):
+//
+//	magic      [4]byte  "TCMP"
+//	version    uint8    (3)
+//	nameLen    uint8    codec-name length (1..MaxCodecName)
+//	name       [nameLen]byte  lowercase codec name ([a-z0-9+_-])
+//	width      uint32   circuit inputs (1..MaxWidth)
+//	chunkPats  uint32   nominal patterns per chunk (1..MaxPatterns)
+//	hdrCRC     uint32   CRC-32 (IEEE) of nameLen..chunkPats
+//	frames:    zero or more chunk frames
+//	  frameLen uint32   body length in bytes (1..MaxFrameBytes);
+//	                    0 terminates the frame sequence
+//	  body:
+//	    patterns uint32 patterns in this chunk (1..chunkPats)
+//	    paramLen uint32 + params   per-chunk codec parameter blob
+//	    nbits    uint32 + payload  encoded chunk bitstream
+//	  crc      uint32   CRC-32 (IEEE) of the body bytes
+//	trailer:   after the frameLen==0 terminator
+//	  totalPatterns uint32   sum of all chunk pattern counts
+//	  crc           uint32   CRC-32 (IEEE) of the 4 totalPatterns bytes
+//
+// Every length field is bounded before it is trusted and frame bodies are
+// read through the same bounded-chunk readSized as v2, so a hostile
+// header can never drive an oversized allocation. The per-frame CRC makes
+// corruption detectable at chunk granularity — a streaming consumer
+// learns about a flipped bit before acting on the chunk, not after
+// decoding gigabytes.
+package container
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+const (
+	// Version3 is the chunked stream-container format version.
+	Version3 = 3
+	// MaxFrameBytes bounds one chunk frame body (64 MiB).
+	MaxFrameBytes = 1 << 26
+	// MaxStreamPatterns bounds the total pattern count of a chunked
+	// stream — the full range of the uint32 trailer. Unlike the buffered
+	// v2 format (capped at MaxPatterns because the whole set must fit in
+	// memory), a stream is processed one chunk at a time, so the only
+	// ceiling is the field width.
+	MaxStreamPatterns = 1<<32 - 1
+)
+
+// StreamHeader describes a chunked container: the codec every chunk was
+// compressed with, the pattern width, and the nominal chunk size.
+type StreamHeader struct {
+	Codec         string
+	Width         int
+	ChunkPatterns int
+}
+
+func (h *StreamHeader) validate() error {
+	if err := validateCodecName(h.Codec); err != nil {
+		return err
+	}
+	if h.Width < 1 || h.Width > MaxWidth {
+		return fmt.Errorf("container: width %d out of range [1,%d]", h.Width, MaxWidth)
+	}
+	if h.ChunkPatterns < 1 || h.ChunkPatterns > MaxPatterns {
+		return fmt.Errorf("container: chunk pattern count %d out of range [1,%d]", h.ChunkPatterns, MaxPatterns)
+	}
+	return nil
+}
+
+// Chunk is one independently compressed slice of the test set: its
+// pattern count, the codec's parameter blob for this chunk, and the
+// encoded payload.
+type Chunk struct {
+	Patterns int
+	Params   []byte
+	Payload  []byte
+	NBits    int
+}
+
+func (c *Chunk) validate(h *StreamHeader) error {
+	if c.Patterns < 1 || c.Patterns > h.ChunkPatterns {
+		return fmt.Errorf("container: chunk has %d patterns, want 1..%d", c.Patterns, h.ChunkPatterns)
+	}
+	if len(c.Params) > MaxParamBytes {
+		return fmt.Errorf("container: chunk parameter blob %d bytes exceeds %d", len(c.Params), MaxParamBytes)
+	}
+	if c.NBits < 0 || c.NBits > MaxPayloadBits {
+		return fmt.Errorf("container: chunk payload bit count %d out of range [0,%d]", c.NBits, MaxPayloadBits)
+	}
+	if len(c.Payload) != (c.NBits+7)/8 {
+		return fmt.Errorf("container: chunk payload is %d bytes, want %d for %d bits",
+			len(c.Payload), (c.NBits+7)/8, c.NBits)
+	}
+	if bodyLen(c) > MaxFrameBytes {
+		return fmt.Errorf("container: chunk frame %d bytes exceeds %d", bodyLen(c), MaxFrameBytes)
+	}
+	return nil
+}
+
+// bodyLen returns the encoded frame-body size: three uint32 length/count
+// fields plus the two variable sections.
+func bodyLen(c *Chunk) int { return 12 + len(c.Params) + len(c.Payload) }
+
+// ChunkWriter emits a v3 chunked container incrementally: header at
+// construction, one frame per WriteChunk, terminator + trailer at Close.
+type ChunkWriter struct {
+	w      io.Writer
+	hdr    StreamHeader
+	total  int
+	closed bool
+}
+
+// NewChunkWriter writes the stream header and returns a writer for the
+// frame sequence. It does not buffer: every WriteChunk reaches w before
+// returning, so the consumer end of a pipe sees chunks as they are
+// produced.
+func NewChunkWriter(w io.Writer, hdr StreamHeader) (*ChunkWriter, error) {
+	if err := hdr.validate(); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 0, 4+1+1+len(hdr.Codec)+12)
+	buf = append(buf, magic[:]...)
+	buf = append(buf, Version3, byte(len(hdr.Codec)))
+	buf = append(buf, hdr.Codec...)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(hdr.Width))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(hdr.ChunkPatterns))
+	buf = binary.BigEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf[5:]))
+	if _, err := w.Write(buf); err != nil {
+		return nil, err
+	}
+	return &ChunkWriter{w: w, hdr: hdr}, nil
+}
+
+// WriteChunk appends one chunk frame.
+func (cw *ChunkWriter) WriteChunk(c *Chunk) error {
+	if cw.closed {
+		return fmt.Errorf("container: WriteChunk on closed stream")
+	}
+	if err := c.validate(&cw.hdr); err != nil {
+		return err
+	}
+	if uint64(cw.total)+uint64(c.Patterns) > MaxStreamPatterns {
+		return fmt.Errorf("container: total pattern count %d exceeds %d", cw.total+c.Patterns, uint64(MaxStreamPatterns))
+	}
+	body := make([]byte, 0, bodyLen(c))
+	body = binary.BigEndian.AppendUint32(body, uint32(c.Patterns))
+	body = binary.BigEndian.AppendUint32(body, uint32(len(c.Params)))
+	body = append(body, c.Params...)
+	body = binary.BigEndian.AppendUint32(body, uint32(c.NBits))
+	body = append(body, c.Payload...)
+	frame := make([]byte, 0, 4+len(body)+4)
+	frame = binary.BigEndian.AppendUint32(frame, uint32(len(body)))
+	frame = append(frame, body...)
+	frame = binary.BigEndian.AppendUint32(frame, crc32.ChecksumIEEE(body))
+	if _, err := cw.w.Write(frame); err != nil {
+		return err
+	}
+	cw.total += c.Patterns
+	return nil
+}
+
+// TotalPatterns returns the number of patterns written so far.
+func (cw *ChunkWriter) TotalPatterns() int { return cw.total }
+
+// Close writes the frame terminator and the total-pattern trailer. It
+// does not close the underlying writer.
+func (cw *ChunkWriter) Close() error {
+	if cw.closed {
+		return nil
+	}
+	cw.closed = true
+	var buf [12]byte
+	binary.BigEndian.PutUint32(buf[0:], 0) // terminator
+	binary.BigEndian.PutUint32(buf[4:], uint32(cw.total))
+	binary.BigEndian.PutUint32(buf[8:], crc32.ChecksumIEEE(buf[4:8]))
+	_, err := cw.w.Write(buf[:])
+	return err
+}
+
+// ChunkReader parses a v3 chunked container incrementally. Construction
+// consumes the header; Next returns frames until the terminator, then
+// validates the trailer and reports io.EOF.
+type ChunkReader struct {
+	r     io.Reader
+	hdr   StreamHeader
+	total int
+	done  bool
+}
+
+// NewChunkReader parses the stream header (including magic and version).
+func NewChunkReader(r io.Reader) (*ChunkReader, error) {
+	var m [4]byte
+	if _, err := io.ReadFull(r, m[:]); err != nil {
+		return nil, err
+	}
+	if m != magic {
+		return nil, fmt.Errorf("container: bad magic %q", m)
+	}
+	var version uint8
+	if err := binary.Read(r, binary.BigEndian, &version); err != nil {
+		return nil, err
+	}
+	if version != Version3 {
+		return nil, fmt.Errorf("container: version %d is not a chunked stream container (want %d)", version, Version3)
+	}
+	return newChunkReaderBody(r)
+}
+
+// newChunkReaderBody parses the v3 header after magic and version,
+// verifying the header CRC before trusting any field past the name
+// length.
+func newChunkReaderBody(r io.Reader) (*ChunkReader, error) {
+	var nameLen uint8
+	if err := binary.Read(r, binary.BigEndian, &nameLen); err != nil {
+		return nil, err
+	}
+	if nameLen == 0 || int(nameLen) > MaxCodecName {
+		return nil, fmt.Errorf("container: codec name length %d out of range [1,%d]", nameLen, MaxCodecName)
+	}
+	rest, err := readSized(r, int(nameLen)+12)
+	if err != nil {
+		return nil, err
+	}
+	hdrBytes := append([]byte{nameLen}, rest[:len(rest)-4]...)
+	crc := binary.BigEndian.Uint32(rest[len(rest)-4:])
+	if got := crc32.ChecksumIEEE(hdrBytes); got != crc {
+		return nil, fmt.Errorf("container: stream header CRC mismatch: got %08x, want %08x", got, crc)
+	}
+	cr := &ChunkReader{r: r}
+	cr.hdr.Codec = string(rest[:nameLen])
+	if err := validateCodecName(cr.hdr.Codec); err != nil {
+		return nil, err
+	}
+	cr.hdr.Width = int(binary.BigEndian.Uint32(rest[nameLen : nameLen+4]))
+	cr.hdr.ChunkPatterns = int(binary.BigEndian.Uint32(rest[nameLen+4 : nameLen+8]))
+	if err := cr.hdr.validate(); err != nil {
+		return nil, err
+	}
+	return cr, nil
+}
+
+// Header returns the parsed stream header.
+func (cr *ChunkReader) Header() StreamHeader { return cr.hdr }
+
+// TotalPatterns returns the trailer's pattern count; it is only valid
+// after Next has returned io.EOF.
+func (cr *ChunkReader) TotalPatterns() int { return cr.total }
+
+// Next returns the next chunk frame, verifying its length bounds and
+// CRC. At the stream terminator it validates the trailer against the sum
+// of chunk pattern counts and returns io.EOF.
+func (cr *ChunkReader) Next() (*Chunk, error) {
+	if cr.done {
+		return nil, io.EOF
+	}
+	var frameLen uint32
+	if err := binary.Read(cr.r, binary.BigEndian, &frameLen); err != nil {
+		return nil, fmt.Errorf("container: truncated frame length: %w", err)
+	}
+	if frameLen == 0 {
+		return nil, cr.readTrailer()
+	}
+	if frameLen > MaxFrameBytes {
+		return nil, fmt.Errorf("container: frame length %d exceeds %d", frameLen, MaxFrameBytes)
+	}
+	body, err := readSized(cr.r, int(frameLen))
+	if err != nil {
+		return nil, err
+	}
+	var crc uint32
+	if err := binary.Read(cr.r, binary.BigEndian, &crc); err != nil {
+		return nil, fmt.Errorf("container: truncated frame CRC: %w", err)
+	}
+	if got := crc32.ChecksumIEEE(body); got != crc {
+		return nil, fmt.Errorf("container: chunk CRC mismatch: got %08x, want %08x", got, crc)
+	}
+	c, err := parseChunkBody(body, &cr.hdr)
+	if err != nil {
+		return nil, err
+	}
+	if uint64(cr.total)+uint64(c.Patterns) > MaxStreamPatterns {
+		return nil, fmt.Errorf("container: total pattern count %d exceeds %d", cr.total+c.Patterns, uint64(MaxStreamPatterns))
+	}
+	cr.total += c.Patterns
+	return c, nil
+}
+
+func (cr *ChunkReader) readTrailer() error {
+	var buf [8]byte
+	if _, err := io.ReadFull(cr.r, buf[:]); err != nil {
+		return fmt.Errorf("container: truncated trailer: %w", err)
+	}
+	total := binary.BigEndian.Uint32(buf[0:4])
+	crc := binary.BigEndian.Uint32(buf[4:8])
+	if got := crc32.ChecksumIEEE(buf[0:4]); got != crc {
+		return fmt.Errorf("container: trailer CRC mismatch: got %08x, want %08x", got, crc)
+	}
+	if int(total) != cr.total {
+		return fmt.Errorf("container: trailer promises %d patterns, frames carried %d", total, cr.total)
+	}
+	cr.done = true
+	return io.EOF
+}
+
+// parseChunkBody decodes a CRC-verified frame body.
+func parseChunkBody(body []byte, hdr *StreamHeader) (*Chunk, error) {
+	take4 := func(what string) (uint32, error) {
+		if len(body) < 4 {
+			return 0, fmt.Errorf("container: chunk frame truncated at %s", what)
+		}
+		v := binary.BigEndian.Uint32(body[:4])
+		body = body[4:]
+		return v, nil
+	}
+	patterns, err := take4("pattern count")
+	if err != nil {
+		return nil, err
+	}
+	paramLen, err := take4("parameter length")
+	if err != nil {
+		return nil, err
+	}
+	if paramLen > MaxParamBytes || int(paramLen) > len(body) {
+		return nil, fmt.Errorf("container: chunk parameter blob %d bytes out of bounds", paramLen)
+	}
+	params := body[:paramLen:paramLen]
+	body = body[paramLen:]
+	nbits, err := take4("payload bit count")
+	if err != nil {
+		return nil, err
+	}
+	if nbits > MaxPayloadBits {
+		return nil, fmt.Errorf("container: chunk payload bit count %d exceeds %d", nbits, MaxPayloadBits)
+	}
+	if len(body) != (int(nbits)+7)/8 {
+		return nil, fmt.Errorf("container: chunk payload is %d bytes, want %d for %d bits",
+			len(body), (int(nbits)+7)/8, nbits)
+	}
+	c := &Chunk{Patterns: int(patterns), Params: params, Payload: body, NBits: int(nbits)}
+	if err := c.validate(hdr); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

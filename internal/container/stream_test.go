@@ -1,0 +1,244 @@
+package container
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"testing"
+)
+
+// mustStream serializes a stream or panics — shared by tests and fuzz
+// seed construction.
+func mustStream(hdr StreamHeader, chunks []*Chunk) []byte {
+	var buf bytes.Buffer
+	cw, err := NewChunkWriter(&buf, hdr)
+	if err != nil {
+		panic(err)
+	}
+	for _, c := range chunks {
+		if err := cw.WriteChunk(c); err != nil {
+			panic(err)
+		}
+	}
+	if err := cw.Close(); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+func writeTestStream(t *testing.T, hdr StreamHeader, chunks []*Chunk) []byte {
+	t.Helper()
+	return mustStream(hdr, chunks)
+}
+
+func TestChunkRoundTrip(t *testing.T) {
+	hdr := StreamHeader{Codec: "fdr", Width: 32, ChunkPatterns: 10}
+	chunks := []*Chunk{
+		{Patterns: 10, Params: []byte{1, 2, 3}, Payload: []byte{0xAB, 0xC0}, NBits: 12},
+		{Patterns: 10, Params: nil, Payload: nil, NBits: 0},
+		{Patterns: 3, Params: []byte{9}, Payload: []byte{0xFF}, NBits: 8},
+	}
+	raw := writeTestStream(t, hdr, chunks)
+
+	cr, err := NewChunkReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cr.Header() != hdr {
+		t.Fatalf("header round-trip: got %+v want %+v", cr.Header(), hdr)
+	}
+	for i, want := range chunks {
+		got, err := cr.Next()
+		if err != nil {
+			t.Fatalf("chunk %d: %v", i, err)
+		}
+		if got.Patterns != want.Patterns || got.NBits != want.NBits ||
+			!bytes.Equal(got.Params, want.Params) || !bytes.Equal(got.Payload, want.Payload) {
+			t.Fatalf("chunk %d: got %+v want %+v", i, got, want)
+		}
+	}
+	if _, err := cr.Next(); err != io.EOF {
+		t.Fatalf("expected io.EOF, got %v", err)
+	}
+	if cr.TotalPatterns() != 23 {
+		t.Fatalf("TotalPatterns=%d want 23", cr.TotalPatterns())
+	}
+	// EOF is sticky.
+	if _, err := cr.Next(); err != io.EOF {
+		t.Fatalf("second Next after EOF: %v", err)
+	}
+}
+
+func TestChunkWriterValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := NewChunkWriter(&buf, StreamHeader{Codec: "BAD!", Width: 8, ChunkPatterns: 4}); err == nil {
+		t.Fatal("invalid codec name accepted")
+	}
+	if _, err := NewChunkWriter(&buf, StreamHeader{Codec: "rl", Width: 0, ChunkPatterns: 4}); err == nil {
+		t.Fatal("zero width accepted")
+	}
+	cw, err := NewChunkWriter(&buf, StreamHeader{Codec: "rl", Width: 8, ChunkPatterns: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cw.WriteChunk(&Chunk{Patterns: 5, NBits: 0}); err == nil {
+		t.Fatal("oversized chunk accepted")
+	}
+	if err := cw.WriteChunk(&Chunk{Patterns: 0, NBits: 0}); err == nil {
+		t.Fatal("empty chunk accepted")
+	}
+	if err := cw.WriteChunk(&Chunk{Patterns: 2, Payload: []byte{0}, NBits: 20}); err == nil {
+		t.Fatal("payload/nbits mismatch accepted")
+	}
+	if err := cw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cw.WriteChunk(&Chunk{Patterns: 1, NBits: 0}); err == nil {
+		t.Fatal("write after Close accepted")
+	}
+}
+
+func TestChunkReaderCorruption(t *testing.T) {
+	hdr := StreamHeader{Codec: "golomb", Width: 16, ChunkPatterns: 8}
+	raw := writeTestStream(t, hdr, []*Chunk{
+		{Patterns: 8, Params: []byte{0, 0, 0, 4}, Payload: []byte{0x12, 0x34, 0x56}, NBits: 24},
+	})
+
+	// Flip one bit in every byte position in turn: every corruption must
+	// surface as an error somewhere (header validation, CRC, trailer),
+	// never as a silently different chunk.
+	for i := 0; i < len(raw); i++ {
+		bad := append([]byte(nil), raw...)
+		bad[i] ^= 0x04
+		cr, err := NewChunkReader(bytes.NewReader(bad))
+		if err != nil {
+			continue
+		}
+		ok := true
+		for ok {
+			c, err := cr.Next()
+			if err == io.EOF {
+				t.Fatalf("corruption at byte %d went unnoticed", i)
+			}
+			if err != nil {
+				ok = false
+			} else if c == nil {
+				t.Fatal("nil chunk without error")
+			}
+		}
+	}
+}
+
+func TestChunkReaderTruncation(t *testing.T) {
+	hdr := StreamHeader{Codec: "ea", Width: 16, ChunkPatterns: 4}
+	raw := writeTestStream(t, hdr, []*Chunk{
+		{Patterns: 4, Params: []byte{1}, Payload: []byte{0xAA}, NBits: 8},
+	})
+	for cut := 0; cut < len(raw); cut++ {
+		cr, err := NewChunkReader(bytes.NewReader(raw[:cut]))
+		if err != nil {
+			continue
+		}
+		for {
+			_, err := cr.Next()
+			if err == io.EOF {
+				t.Fatalf("truncation to %d bytes read as a complete stream", cut)
+			}
+			if err != nil {
+				break
+			}
+		}
+	}
+}
+
+func TestChunkReaderHostileFrameLength(t *testing.T) {
+	hdr := StreamHeader{Codec: "rl", Width: 8, ChunkPatterns: 2}
+	raw := writeTestStream(t, hdr, nil)
+	// Replace the terminator with a huge frame length; the reader must
+	// reject it before allocating.
+	hostile := append([]byte(nil), raw[:len(raw)-12]...)
+	hostile = binary.BigEndian.AppendUint32(hostile, 1<<31-1)
+	cr, err := NewChunkReader(bytes.NewReader(hostile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cr.Next(); err == nil {
+		t.Fatal("hostile frame length accepted")
+	}
+}
+
+func TestReadAnyRejectsV3WithHint(t *testing.T) {
+	raw := writeTestStream(t, StreamHeader{Codec: "fdr", Width: 8, ChunkPatterns: 2}, nil)
+	_, err := ReadAny(bytes.NewReader(raw))
+	if err == nil {
+		t.Fatal("ReadAny accepted a chunked container")
+	}
+	if !bytes.Contains([]byte(err.Error()), []byte("chunked stream")) {
+		t.Fatalf("error does not point to the streaming reader: %v", err)
+	}
+}
+
+// FuzzChunkedContainer feeds arbitrary bytes to the chunk reader: it
+// must never panic and never allocate beyond the frame bound, and every
+// stream it does accept must re-serialize to an equivalent stream.
+func FuzzChunkedContainer(f *testing.F) {
+	f.Add(mustStream(StreamHeader{Codec: "fdr", Width: 32, ChunkPatterns: 10},
+		[]*Chunk{{Patterns: 10, Params: []byte{1}, Payload: []byte{0xAB}, NBits: 8}}))
+	f.Add(mustStream(StreamHeader{Codec: "ea", Width: 4, ChunkPatterns: 1}, nil))
+	f.Add([]byte("TCMP\x03"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cr, err := NewChunkReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var chunks []*Chunk
+		for {
+			c, err := cr.Next()
+			if err != nil {
+				if err != io.EOF {
+					return // rejected mid-stream: fine
+				}
+				break
+			}
+			if c.Patterns < 1 || c.Patterns > cr.Header().ChunkPatterns {
+				t.Fatalf("accepted chunk with %d patterns (cap %d)", c.Patterns, cr.Header().ChunkPatterns)
+			}
+			chunks = append(chunks, c)
+			if len(chunks) > 1<<12 {
+				return
+			}
+		}
+		// Accepted: the parsed stream must round-trip.
+		var buf bytes.Buffer
+		cw, err := NewChunkWriter(&buf, cr.Header())
+		if err != nil {
+			t.Fatalf("accepted header does not re-serialize: %v", err)
+		}
+		for i, c := range chunks {
+			if err := cw.WriteChunk(c); err != nil {
+				t.Fatalf("accepted chunk %d does not re-serialize: %v", i, err)
+			}
+		}
+		if err := cw.Close(); err != nil {
+			t.Fatal(err)
+		}
+		cr2, err := NewChunkReader(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range chunks {
+			c, err := cr2.Next()
+			if err != nil {
+				t.Fatalf("re-read chunk %d: %v", i, err)
+			}
+			if c.Patterns != chunks[i].Patterns || c.NBits != chunks[i].NBits ||
+				!bytes.Equal(c.Payload, chunks[i].Payload) || !bytes.Equal(c.Params, chunks[i].Params) {
+				t.Fatalf("chunk %d changed across round-trip", i)
+			}
+		}
+		if _, err := cr2.Next(); err != io.EOF {
+			t.Fatalf("re-read stream does not terminate: %v", err)
+		}
+	})
+}

@@ -192,6 +192,8 @@ func ReadAny(r io.Reader) (*Container, error) {
 		return v1ToContainer(f)
 	case Version2:
 		return readV2Body(r)
+	case Version3:
+		return nil, fmt.Errorf("container: version 3 is a chunked stream container; read it with tcomp.NewStreamReader (or tdecompress, which auto-detects it)")
 	}
 	return nil, fmt.Errorf("container: unsupported version %d", version)
 }

@@ -52,22 +52,32 @@ type Stats struct {
 	Cycles int
 }
 
-// Run decodes nblocks from the reader, returning the fully specified
-// blocks and cycle statistics.
-func (f *FSM) Run(r *bitstream.Reader, nblocks int) ([]tritvec.Vector, Stats, error) {
+// Run decodes nblocks from any bit source — the in-memory reader or the
+// io.Reader-fed streaming one, mirroring the hardware's bit-serial input —
+// returning the fully specified blocks and cycle statistics. Truncation
+// errors wrap bitstream.ErrEOS.
+func (f *FSM) Run(r bitstream.Source, nblocks int) ([]tritvec.Vector, Stats, error) {
 	var st Stats
 	out := make([]tritvec.Vector, 0, nblocks)
-	start := r.Pos()
+	// The FSM counts consumed bits itself (the hardware has no notion of
+	// buffer position), so any Source works.
+	readBit := func() (uint, error) {
+		bit, err := r.ReadBit()
+		if err == nil {
+			st.InputBits++
+		}
+		return bit, err
+	}
 	for b := 0; b < nblocks; b++ {
-		sym, err := f.trie.Decode(r.ReadBit)
+		sym, err := f.trie.Decode(readBit)
 		if err != nil {
-			return nil, st, fmt.Errorf("decoder: block %d: %v", b, err)
+			return nil, st, fmt.Errorf("decoder: block %d: %w", b, err)
 		}
 		blk := f.set.MVs[sym].Clone()
 		for _, pos := range f.uPos[sym] {
-			bit, err := r.ReadBit()
+			bit, err := readBit()
 			if err != nil {
-				return nil, st, fmt.Errorf("decoder: block %d fill: %v", b, err)
+				return nil, st, fmt.Errorf("decoder: block %d fill: %w", b, err)
 			}
 			if bit == 1 {
 				blk.Set(pos, tritvec.One)
@@ -79,7 +89,6 @@ func (f *FSM) Run(r *bitstream.Reader, nblocks int) ([]tritvec.Vector, Stats, er
 		st.Cycles += f.set.K // shift-out
 	}
 	st.Blocks = nblocks
-	st.InputBits = r.Pos() - start
 	st.Cycles += st.InputBits // one cycle per input bit
 	return out, st, nil
 }
@@ -145,7 +154,7 @@ func (r *Reconfigurable) Load(set *blockcode.MVSet, code *huffman.Code) error {
 }
 
 // Run decodes with the currently loaded configuration.
-func (r *Reconfigurable) Run(rd *bitstream.Reader, nblocks int) ([]tritvec.Vector, Stats, error) {
+func (r *Reconfigurable) Run(rd bitstream.Source, nblocks int) ([]tritvec.Vector, Stats, error) {
 	if r.fsm == nil {
 		return nil, Stats{}, fmt.Errorf("decoder: no configuration loaded")
 	}

@@ -7,6 +7,7 @@
 package fdr
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/bitstream"
@@ -74,31 +75,41 @@ func Compress(ts *testset.TestSet) (*Result, error) {
 	return &Result{OriginalBits: ts.TotalBits(), CompressedBits: w.Len(), Stream: w}, nil
 }
 
-// Decompress reconstructs totalBits bits.
-func Decompress(r *bitstream.Reader, totalBits int) (tritvec.Vector, error) {
+// Decompress reconstructs totalBits bits from any bit source — the
+// in-memory reader or the io.Reader-fed streaming one. End of stream at a
+// codeword boundary means the remaining bits are implied zeros; end of
+// stream inside a codeword is an error wrapping bitstream.ErrEOS.
+func Decompress(r bitstream.Source, totalBits int) (tritvec.Vector, error) {
 	out := tritvec.New(totalBits)
 	pos := 0
 	for pos < totalBits {
-		if r.Remaining() == 0 {
-			for ; pos < totalBits; pos++ {
-				out.Set(pos, tritvec.Zero)
-			}
-			break
-		}
-		k := 1
-		for {
-			bit, err := r.ReadBit()
-			if err != nil {
-				return tritvec.Vector{}, err
-			}
-			if bit == 0 {
+		bit, err := r.ReadBit()
+		if err != nil {
+			if errors.Is(err, bitstream.ErrEOS) {
+				for ; pos < totalBits; pos++ {
+					out.Set(pos, tritvec.Zero)
+				}
 				break
 			}
+			return tritvec.Vector{}, err
+		}
+		k := 1
+		for bit == 1 {
 			k++
+			// Group k covers run lengths up to 2^(k+1)-3, so k=62 already
+			// exceeds any run an int-indexed test set can contain; a
+			// longer unary prefix is hostile input, not a codeword (and
+			// would overflow the in-memory reader's 64-bit ReadBits).
+			if k > 62 {
+				return tritvec.Vector{}, fmt.Errorf("fdr: unary prefix exceeds group %d: invalid stream", k)
+			}
+			if bit, err = r.ReadBit(); err != nil {
+				return tritvec.Vector{}, fmt.Errorf("fdr: truncated prefix: %w", err)
+			}
 		}
 		tail, err := r.ReadBits(k)
 		if err != nil {
-			return tritvec.Vector{}, fmt.Errorf("fdr: truncated tail: %v", err)
+			return tritvec.Vector{}, fmt.Errorf("fdr: truncated tail: %w", err)
 		}
 		n := groupBase(k) + int(tail)
 		for i := 0; i < n && pos < totalBits; i++ {

@@ -5,6 +5,7 @@
 package golomb
 
 import (
+	"errors"
 	"fmt"
 	"math/bits"
 
@@ -55,7 +56,7 @@ func writeTruncated(w *bitstream.Writer, r, m int) {
 }
 
 // readTruncated reads a truncated-binary value for alphabet size m.
-func readTruncated(r *bitstream.Reader, m int) (int, error) {
+func readTruncated(r bitstream.Source, m int) (int, error) {
 	if m == 1 {
 		return 0, nil
 	}
@@ -110,31 +111,34 @@ func CompressBest(ts *testset.TestSet) (*Result, error) {
 	return best, nil
 }
 
-// Decompress reconstructs totalBits bits.
-func Decompress(r *bitstream.Reader, m, totalBits int) (tritvec.Vector, error) {
+// Decompress reconstructs totalBits bits from any bit source — the
+// in-memory reader or the io.Reader-fed streaming one. End of stream at a
+// codeword boundary means the remaining bits are implied zeros; end of
+// stream inside a codeword is an error wrapping bitstream.ErrEOS.
+func Decompress(r bitstream.Source, m, totalBits int) (tritvec.Vector, error) {
 	out := tritvec.New(totalBits)
 	pos := 0
 	for pos < totalBits {
-		if r.Remaining() == 0 {
-			for ; pos < totalBits; pos++ {
-				out.Set(pos, tritvec.Zero)
-			}
-			break
-		}
-		q := 0
-		for {
-			bit, err := r.ReadBit()
-			if err != nil {
-				return tritvec.Vector{}, err
-			}
-			if bit == 0 {
+		bit, err := r.ReadBit()
+		if err != nil {
+			if errors.Is(err, bitstream.ErrEOS) {
+				for ; pos < totalBits; pos++ {
+					out.Set(pos, tritvec.Zero)
+				}
 				break
 			}
+			return tritvec.Vector{}, err
+		}
+		q := 0
+		for bit == 1 {
 			q++
+			if bit, err = r.ReadBit(); err != nil {
+				return tritvec.Vector{}, fmt.Errorf("golomb: truncated quotient: %w", err)
+			}
 		}
 		rem, err := readTruncated(r, m)
 		if err != nil {
-			return tritvec.Vector{}, err
+			return tritvec.Vector{}, fmt.Errorf("golomb: truncated remainder: %w", err)
 		}
 		n := q*m + rem
 		for i := 0; i < n && pos < totalBits; i++ {

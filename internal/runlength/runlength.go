@@ -6,6 +6,7 @@
 package runlength
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/bitstream"
@@ -83,21 +84,27 @@ func Compress(ts *testset.TestSet, b int) (*Result, error) {
 	return &Result{OriginalBits: ts.TotalBits(), CompressedBits: w.Len(), Stream: w}, nil
 }
 
-// Decompress reconstructs totalBits bits from the stream.
-func Decompress(r *bitstream.Reader, b, totalBits int) (tritvec.Vector, error) {
+// Decompress reconstructs totalBits bits from any bit source — the
+// in-memory reader or the io.Reader-fed streaming one. A stream that ends
+// before totalBits (including a final partial counter, which carries no
+// information) implies the rest is zeros.
+func Decompress(r bitstream.Source, b, totalBits int) (tritvec.Vector, error) {
+	if b < 1 || b > 30 {
+		return tritvec.Vector{}, fmt.Errorf("runlength: counter width %d out of range", b)
+	}
 	out := tritvec.New(totalBits)
 	max := uint64(1<<uint(b)) - 1
 	pos := 0
 	for pos < totalBits {
-		if r.Remaining() < b {
-			// Stream exhausted: the rest is implied zeros.
-			for ; pos < totalBits; pos++ {
-				out.Set(pos, tritvec.Zero)
-			}
-			break
-		}
 		v, err := r.ReadBits(b)
 		if err != nil {
+			if errors.Is(err, bitstream.ErrEOS) {
+				// Stream exhausted: the rest is implied zeros.
+				for ; pos < totalBits; pos++ {
+					out.Set(pos, tritvec.Zero)
+				}
+				break
+			}
 			return tritvec.Vector{}, err
 		}
 		n := int(v)

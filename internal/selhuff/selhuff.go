@@ -114,7 +114,9 @@ func Compress(ts *testset.TestSet, k, d int) (*Result, error) {
 }
 
 // Decompress reconstructs totalBits bits using the result's dictionary.
-func Decompress(r *bitstream.Reader, res *Result, totalBits int) (tritvec.Vector, error) {
+// It accepts any bit source — the in-memory reader or the io.Reader-fed
+// streaming one.
+func Decompress(r bitstream.Source, res *Result, totalBits int) (tritvec.Vector, error) {
 	dec, err := huffman.NewDecoder(res.Code)
 	if err != nil {
 		return tritvec.Vector{}, err

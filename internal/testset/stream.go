@@ -1,0 +1,149 @@
+package testset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/tritvec"
+)
+
+// Streaming textual IO. The textual format's header is "width count";
+// a producer that does not know the pattern count up front (a streaming
+// decompressor writing to a pipe) emits "width *" instead, and Scanner
+// accepts both. Blank lines and '#' comments are ignored, exactly as in
+// Read.
+
+// Scanner reads the textual test-set format one pattern at a time, at
+// O(pattern) memory. It is the streaming counterpart of Read.
+type Scanner struct {
+	sc    *bufio.Scanner
+	width int
+	want  int // expected pattern count, -1 when the header was "width *"
+	seen  int
+	done  bool
+}
+
+// NewScanner parses the header line and returns a Scanner positioned at
+// the first pattern.
+func NewScanner(r io.Reader) (*Scanner, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		width, want, err := parseHeader(line)
+		if err != nil {
+			return nil, err
+		}
+		return &Scanner{sc: sc, width: width, want: want}, nil
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return nil, fmt.Errorf("testset: empty input")
+}
+
+func parseHeader(line string) (width, want int, err error) {
+	var n int
+	if _, err := fmt.Sscanf(line, "%d *", &n); err == nil {
+		if n <= 0 {
+			return 0, 0, fmt.Errorf("testset: invalid header %q", line)
+		}
+		return n, -1, nil
+	}
+	var t int
+	if _, err := fmt.Sscanf(line, "%d %d", &n, &t); err != nil {
+		return 0, 0, fmt.Errorf("testset: bad header %q: %v", line, err)
+	}
+	if n <= 0 || t < 0 {
+		return 0, 0, fmt.Errorf("testset: invalid header %q", line)
+	}
+	return n, t, nil
+}
+
+// Width returns the pattern width from the header.
+func (s *Scanner) Width() int { return s.width }
+
+// Expected returns the header's pattern count, or -1 for a streaming
+// ("width *") header.
+func (s *Scanner) Expected() int { return s.want }
+
+// Patterns returns the number of patterns scanned so far.
+func (s *Scanner) Patterns() int { return s.seen }
+
+// Next returns the next pattern, or io.EOF after the last one. When the
+// header promised a count, a mismatch at end of input is an error.
+func (s *Scanner) Next() (tritvec.Vector, error) {
+	if s.done {
+		return tritvec.Vector{}, io.EOF
+	}
+	for s.sc.Scan() {
+		line := strings.TrimSpace(s.sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		v, err := tritvec.FromString(line)
+		if err != nil {
+			return tritvec.Vector{}, err
+		}
+		if v.Len() != s.width {
+			return tritvec.Vector{}, fmt.Errorf("testset: pattern length %d != width %d", v.Len(), s.width)
+		}
+		s.seen++
+		return v, nil
+	}
+	if err := s.sc.Err(); err != nil {
+		return tritvec.Vector{}, err
+	}
+	s.done = true
+	if s.want >= 0 && s.seen != s.want {
+		return tritvec.Vector{}, fmt.Errorf("testset: header promised %d patterns, got %d", s.want, s.seen)
+	}
+	return tritvec.Vector{}, io.EOF
+}
+
+// PatternWriter emits the textual format incrementally with a streaming
+// ("width *") header, at O(pattern) memory. Close flushes; it does not
+// close the underlying writer.
+type PatternWriter struct {
+	bw    *bufio.Writer
+	width int
+	n     int
+}
+
+// NewPatternWriter writes the streaming header for the given width.
+func NewPatternWriter(w io.Writer, width int) (*PatternWriter, error) {
+	if width <= 0 {
+		return nil, fmt.Errorf("testset: width must be positive")
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%d *\n", width); err != nil {
+		return nil, err
+	}
+	return &PatternWriter{bw: bw, width: width}, nil
+}
+
+// WritePattern appends one pattern line.
+func (pw *PatternWriter) WritePattern(v tritvec.Vector) error {
+	if v.Len() != pw.width {
+		return fmt.Errorf("testset: pattern length %d != width %d", v.Len(), pw.width)
+	}
+	if _, err := pw.bw.WriteString(v.String()); err != nil {
+		return err
+	}
+	if err := pw.bw.WriteByte('\n'); err != nil {
+		return err
+	}
+	pw.n++
+	return nil
+}
+
+// Patterns returns the number of patterns written.
+func (pw *PatternWriter) Patterns() int { return pw.n }
+
+// Close flushes buffered output.
+func (pw *PatternWriter) Close() error { return pw.bw.Flush() }

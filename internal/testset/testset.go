@@ -9,7 +9,6 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
-	"strings"
 
 	"repro/internal/tritvec"
 )
@@ -129,48 +128,25 @@ func (ts *TestSet) Write(w io.Writer) error {
 }
 
 // Read parses the textual format produced by Write. Blank lines and lines
-// starting with '#' are ignored.
+// starting with '#' are ignored. Both fixed-count ("width count") and
+// streaming ("width *") headers are accepted; use Scanner to consume the
+// format one pattern at a time instead of buffering the whole set.
 func Read(r io.Reader) (*TestSet, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 1<<24)
-	var ts *TestSet
-	wantT := 0
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, "#") {
-			continue
+	sc, err := NewScanner(r)
+	if err != nil {
+		return nil, err
+	}
+	ts := New(sc.Width())
+	for {
+		v, err := sc.Next()
+		if err == io.EOF {
+			return ts, nil
 		}
-		if ts == nil {
-			var n, t int
-			if _, err := fmt.Sscanf(line, "%d %d", &n, &t); err != nil {
-				return nil, fmt.Errorf("testset: bad header %q: %v", line, err)
-			}
-			if n <= 0 || t < 0 {
-				return nil, fmt.Errorf("testset: invalid header %q", line)
-			}
-			ts = New(n)
-			wantT = t
-			continue
-		}
-		v, err := tritvec.FromString(line)
 		if err != nil {
 			return nil, err
 		}
-		if v.Len() != ts.Width {
-			return nil, fmt.Errorf("testset: pattern length %d != width %d", v.Len(), ts.Width)
-		}
 		ts.Add(v)
 	}
-	if err := sc.Err(); err != nil {
-		return nil, err
-	}
-	if ts == nil {
-		return nil, fmt.Errorf("testset: empty input")
-	}
-	if len(ts.Patterns) != wantT {
-		return nil, fmt.Errorf("testset: header promised %d patterns, got %d", wantT, len(ts.Patterns))
-	}
-	return ts, nil
 }
 
 // ParseStrings builds a test set from pattern strings (testing helper).

@@ -1,0 +1,341 @@
+package tcomp
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+
+	"repro/internal/bitstream"
+	"repro/internal/container"
+	"repro/internal/pipeline"
+	"repro/internal/testset"
+	"repro/internal/tritvec"
+)
+
+// DefaultChunkBits is the target original-bit size of one stream chunk
+// when WithChunkPatterns is not given: big enough that per-chunk codec
+// tables amortize, small enough that writer and reader stay at a few
+// hundred KiB of working memory.
+const DefaultChunkBits = 1 << 20
+
+// chunkResult is what one compression job hands the frame writer.
+type chunkResult struct {
+	chunk          *container.Chunk
+	originalBits   int
+	compressedBits int
+}
+
+// StreamWriter compresses an arbitrarily large test set through any
+// registered codec at O(chunk) memory: patterns accumulate into
+// fixed-size chunks, each chunk is compressed independently (in parallel,
+// on the pipeline engine, with per-chunk seeds derived from the root seed
+// and the chunk index), and the frames are written to the underlying
+// io.Writer in chunk order as a v3 chunked container. A parallel run is
+// byte-identical to a serial one.
+//
+// The zero memory ceiling comes at a price the buffered path does not
+// pay: each chunk carries its own parameter blob (MV table, Huffman
+// dictionary, Golomb M), so compression rates trail the whole-set
+// artifact slightly. Buffered Write/Open remain the default for test sets
+// that fit in memory.
+type StreamWriter struct {
+	ctx   context.Context
+	codec Codec
+	cw    *container.ChunkWriter
+	ord   *pipeline.Ordered[*chunkResult]
+
+	width     int
+	chunkPats int
+	opts      []Option // caller options, re-applied per chunk before the derived seed
+
+	buf    *TestSet
+	chunks int
+	closed bool
+
+	// Totals are updated by the collector goroutine; Close's drain
+	// publishes them, so read them only after Close.
+	patterns       int
+	originalBits   int
+	compressedBits int
+}
+
+// NewStreamWriter writes the chunked-container header for the named
+// codec and returns a StreamWriter. All compression options apply; the
+// seed option becomes the root of the per-chunk seed derivation, and
+// WithChunkPatterns / WithWorkers shape the chunking and the worker
+// pool. Close must be called to terminate the stream.
+func NewStreamWriter(ctx context.Context, w io.Writer, codecName string, width int, opts ...Option) (*StreamWriter, error) {
+	codec, err := Lookup(codecName)
+	if err != nil {
+		return nil, err
+	}
+	if width < 1 {
+		return nil, fmt.Errorf("tcomp: stream width %d must be positive", width)
+	}
+	o := buildOptions(opts)
+	chunkPats := o.chunkPats
+	if chunkPats <= 0 {
+		chunkPats = DefaultChunkBits / width
+		if chunkPats < 1 {
+			chunkPats = 1
+		}
+	}
+	cw, err := container.NewChunkWriter(w, container.StreamHeader{
+		Codec: codecName, Width: width, ChunkPatterns: chunkPats,
+	})
+	if err != nil {
+		return nil, err
+	}
+	sw := &StreamWriter{
+		ctx:       ctx,
+		codec:     codec,
+		cw:        cw,
+		width:     width,
+		chunkPats: chunkPats,
+		opts:      opts,
+	}
+	sw.ord = pipeline.NewOrdered(ctx, pipeline.Config{
+		Workers:  o.workers,
+		RootSeed: o.seed,
+	}, func(res pipeline.Result[*chunkResult]) error {
+		if res.Err != nil {
+			return res.Err
+		}
+		if err := sw.cw.WriteChunk(res.Value.chunk); err != nil {
+			return err
+		}
+		sw.patterns += res.Value.chunk.Patterns
+		sw.originalBits += res.Value.originalBits
+		sw.compressedBits += res.Value.compressedBits
+		return nil
+	})
+	return sw, nil
+}
+
+// WritePattern appends one pattern to the stream, flushing a chunk frame
+// whenever the chunk fills.
+func (sw *StreamWriter) WritePattern(v Vector) error {
+	if sw.closed {
+		return fmt.Errorf("tcomp: WritePattern on closed stream")
+	}
+	if v.Len() != sw.width {
+		return fmt.Errorf("tcomp: pattern length %d != stream width %d", v.Len(), sw.width)
+	}
+	if sw.buf == nil {
+		sw.buf = testset.New(sw.width)
+	}
+	sw.buf.Add(v)
+	if sw.buf.NumPatterns() >= sw.chunkPats {
+		return sw.flushChunk()
+	}
+	return nil
+}
+
+// WriteSet appends every pattern of ts.
+func (sw *StreamWriter) WriteSet(ts *TestSet) error {
+	if ts.Width != sw.width {
+		return fmt.Errorf("tcomp: test-set width %d != stream width %d", ts.Width, sw.width)
+	}
+	for _, p := range ts.Patterns {
+		if err := sw.WritePattern(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// flushChunk hands the buffered patterns to the worker pool. The codec
+// sees an explicit per-chunk seed derived from (root seed, chunk index),
+// so results do not depend on scheduling or worker count.
+func (sw *StreamWriter) flushChunk() error {
+	ts := sw.buf
+	sw.buf = nil
+	idx := sw.chunks
+	sw.chunks++
+	codec, userOpts := sw.codec, sw.opts
+	return sw.ord.Submit(fmt.Sprintf("chunk %d", idx), func(ctx context.Context, seed int64) (*chunkResult, error) {
+		opts := make([]Option, 0, len(userOpts)+1)
+		opts = append(opts, userOpts...)
+		opts = append(opts, WithSeed(seed))
+		art, err := codec.Compress(ctx, ts, opts...)
+		if err != nil {
+			return nil, fmt.Errorf("tcomp: chunk %d: %w", idx, err)
+		}
+		return &chunkResult{
+			chunk: &container.Chunk{
+				Patterns: ts.NumPatterns(),
+				Params:   art.Params,
+				Payload:  art.Payload,
+				NBits:    art.NBits,
+			},
+			originalBits:   art.OriginalBits,
+			compressedBits: art.CompressedBits,
+		}, nil
+	})
+}
+
+// Close flushes the final partial chunk, waits for all in-flight chunk
+// compressions, and writes the stream terminator and trailer. It does
+// not close the underlying writer. Close is idempotent.
+func (sw *StreamWriter) Close() error {
+	if sw.closed {
+		return nil
+	}
+	sw.closed = true
+	var flushErr error
+	if sw.buf != nil && sw.buf.NumPatterns() > 0 {
+		flushErr = sw.flushChunk()
+	}
+	if err := sw.ord.Close(); err != nil {
+		return err
+	}
+	if flushErr != nil {
+		return flushErr
+	}
+	return sw.cw.Close()
+}
+
+// Patterns returns the number of patterns written to the container.
+// Valid after Close.
+func (sw *StreamWriter) Patterns() int { return sw.patterns }
+
+// Chunks returns the number of chunk frames written. Valid after Close.
+func (sw *StreamWriter) Chunks() int { return sw.chunks }
+
+// OriginalBits returns the total uncompressed size in bits. Valid after
+// Close.
+func (sw *StreamWriter) OriginalBits() int { return sw.originalBits }
+
+// CompressedBits returns the total encoded payload size in bits (codec
+// accounting, excluding container framing). Valid after Close.
+func (sw *StreamWriter) CompressedBits() int { return sw.compressedBits }
+
+// RatePercent returns the paper-style compression rate over the whole
+// stream. Valid after Close.
+func (sw *StreamWriter) RatePercent() float64 {
+	if sw.originalBits == 0 {
+		return 0
+	}
+	return 100 * float64(sw.originalBits-sw.compressedBits) / float64(sw.originalBits)
+}
+
+// StreamReader decompresses a v3 chunked container at O(chunk) memory.
+// Each chunk frame is CRC-checked, then decoded by the codec named in
+// the header through an io.Reader-fed bitstream.StreamReader — the same
+// word-at-a-time refill path the differential tests pin against the
+// hardware FSM model. Patterns come out one at a time (Next) or chunk at
+// a time (NextChunk); buffered v1/v2 containers are read with Open, not
+// this type.
+type StreamReader struct {
+	cr    *container.ChunkReader
+	codec Codec
+
+	cur    *TestSet // decoded chunk being drained by Next
+	curPos int
+	done   bool
+}
+
+// NewStreamReader parses the chunked-container header and resolves its
+// codec from the registry.
+func NewStreamReader(r io.Reader) (*StreamReader, error) {
+	cr, err := container.NewChunkReader(r)
+	if err != nil {
+		return nil, err
+	}
+	codec, err := Lookup(cr.Header().Codec)
+	if err != nil {
+		return nil, err
+	}
+	return &StreamReader{cr: cr, codec: codec}, nil
+}
+
+// Codec returns the codec name from the stream header.
+func (sr *StreamReader) Codec() string { return sr.cr.Header().Codec }
+
+// Width returns the pattern width from the stream header.
+func (sr *StreamReader) Width() int { return sr.cr.Header().Width }
+
+// ChunkPatterns returns the nominal chunk size from the stream header.
+func (sr *StreamReader) ChunkPatterns() int { return sr.cr.Header().ChunkPatterns }
+
+// TotalPatterns returns the trailer's pattern count; valid once Next or
+// NextChunk has returned io.EOF.
+func (sr *StreamReader) TotalPatterns() int { return sr.cr.TotalPatterns() }
+
+// NextChunk decodes and returns the next chunk as a fully specified test
+// set, or io.EOF after the final chunk (with the trailer validated).
+func (sr *StreamReader) NextChunk() (*TestSet, error) {
+	if sr.done {
+		return nil, io.EOF
+	}
+	c, err := sr.cr.Next()
+	if err == io.EOF {
+		sr.done = true
+		return nil, io.EOF
+	}
+	if err != nil {
+		return nil, err
+	}
+	hdr := sr.cr.Header()
+	art := &Artifact{
+		Codec:          hdr.Codec,
+		Width:          hdr.Width,
+		Patterns:       c.Patterns,
+		OriginalBits:   hdr.Width * c.Patterns,
+		CompressedBits: c.NBits,
+		Params:         c.Params,
+		Payload:        c.Payload,
+		NBits:          c.NBits,
+		src:            bitstream.NewStreamReader(bytes.NewReader(c.Payload), c.NBits),
+	}
+	ts, err := sr.codec.Decompress(art)
+	if err != nil {
+		return nil, fmt.Errorf("tcomp: chunk decode: %w", err)
+	}
+	if ts.Width != hdr.Width || ts.NumPatterns() != c.Patterns {
+		return nil, fmt.Errorf("tcomp: chunk decoded to %dx%d, want %dx%d",
+			ts.NumPatterns(), ts.Width, c.Patterns, hdr.Width)
+	}
+	return ts, nil
+}
+
+// Next returns the next decompressed pattern, or io.EOF after the last
+// one.
+func (sr *StreamReader) Next() (Vector, error) {
+	for sr.cur == nil || sr.curPos >= sr.cur.NumPatterns() {
+		ts, err := sr.NextChunk()
+		if err != nil {
+			return tritvec.Vector{}, err
+		}
+		sr.cur, sr.curPos = ts, 0
+	}
+	v := sr.cur.Patterns[sr.curPos]
+	sr.curPos++
+	return v, nil
+}
+
+// ReadAll drains the stream into one in-memory test set — the buffered
+// convenience for callers that want a chunked file fully in memory
+// rather than the streaming memory model.
+func (sr *StreamReader) ReadAll() (*TestSet, error) {
+	var ts *TestSet
+	for {
+		chunk, err := sr.NextChunk()
+		if err == io.EOF {
+			if ts == nil {
+				ts = testset.New(sr.Width())
+			}
+			return ts, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		if ts == nil {
+			ts = testset.New(sr.Width())
+		}
+		for _, p := range chunk.Patterns {
+			ts.Add(p)
+		}
+	}
+}
