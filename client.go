@@ -1,0 +1,279 @@
+package tcomp
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+
+	"repro/internal/testset"
+)
+
+// Client talks to a tcompd compression daemon (cmd/tcompd). Bodies
+// stream in both directions — Compress uploads patterns as a chunked
+// request body and Decompress consumes the response incrementally — so
+// a multi-gigabyte test set passes through the client at O(chunk)
+// memory, matching the daemon's own memory model. All methods honor
+// context cancellation through the standard net/http plumbing.
+//
+//	c := tcomp.NewClient("http://localhost:8077")
+//	stats, err := c.Compress(ctx, "golomb", patternsFile, containerFile)
+type Client struct {
+	// BaseURL is the daemon root, e.g. "http://localhost:8077".
+	BaseURL string
+	// HTTPClient overrides the transport; nil means http.DefaultClient.
+	HTTPClient *http.Client
+}
+
+// NewClient returns a Client for the daemon at baseURL.
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/")}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// RemoteStats summarizes a remote compression, assembled from the
+// daemon's response headers (buffered/cached responses) or trailers
+// (streamed responses).
+type RemoteStats struct {
+	Codec                        string
+	Patterns, Chunks             int
+	OriginalBits, CompressedBits int
+	// CacheHit reports that the daemon served the artifact from its
+	// content-addressed result cache. The bytes are identical either way.
+	CacheHit bool
+}
+
+// RatePercent returns the paper-style compression rate.
+func (s RemoteStats) RatePercent() float64 {
+	if s.OriginalBits == 0 {
+		return 0
+	}
+	return 100 * float64(s.OriginalBits-s.CompressedBits) / float64(s.OriginalBits)
+}
+
+// optionValues encodes resolved compression options as daemon query
+// parameters. Workers is forwarded as a hint but deliberately excluded
+// from the daemon's cache key — output bytes are worker-count
+// independent.
+func optionValues(opts []Option) url.Values {
+	o := buildOptions(opts)
+	v := url.Values{}
+	v.Set("seed", strconv.FormatInt(o.seed, 10))
+	setInt := func(key string, val int) {
+		if val > 0 {
+			v.Set(key, strconv.Itoa(val))
+		}
+	}
+	setInt("k", o.blockLen)
+	setInt("l", o.mvCount)
+	setInt("runs", o.runs)
+	setInt("workers", o.workers)
+	setInt("m", o.golombM)
+	setInt("d", o.dictSize)
+	setInt("b", o.counterW)
+	setInt("chunk", o.chunkPats)
+	return v
+}
+
+// apiError decodes a daemon error response ({"error": "..."}).
+func apiError(resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(body, &e) == nil && e.Error != "" {
+		return fmt.Errorf("tcomp: daemon: %s (HTTP %d)", e.Error, resp.StatusCode)
+	}
+	return fmt.Errorf("tcomp: daemon: HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(body))
+}
+
+func (c *Client) do(req *http.Request) (*http.Response, error) {
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		defer resp.Body.Close()
+		return nil, apiError(resp)
+	}
+	return resp, nil
+}
+
+// Compress streams the textual (or binary) test set on patterns through
+// the daemon's POST /v1/compress and copies the returned container to
+// container. By default the daemon answers with a chunked stream
+// container (format v3); see CompressSet for the buffered v2 form.
+func (c *Client) Compress(ctx context.Context, codecName string, patterns io.Reader, container io.Writer, opts ...Option) (*RemoteStats, error) {
+	q := optionValues(opts)
+	q.Set("codec", codecName)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		c.BaseURL+"/v1/compress?"+q.Encode(), patterns)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "text/plain")
+	resp, err := c.do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if _, err := io.Copy(container, resp.Body); err != nil {
+		return nil, err
+	}
+	// A mid-stream daemon failure arrives as a trailer on an otherwise
+	// 200 response; surfacing it here is what keeps a truncated
+	// container from being reported as success.
+	if msg := resp.Trailer.Get("X-Tcomp-Error"); msg != "" {
+		return nil, fmt.Errorf("tcomp: daemon: %s", msg)
+	}
+	return remoteStats(codecName, resp), nil
+}
+
+// CompressSet compresses an in-memory test set remotely and returns the
+// parsed artifact (the daemon answers in the buffered v2 container
+// format), interchangeable with the artifact a local
+// codec.Compress(...) produces.
+func (c *Client) CompressSet(ctx context.Context, codecName string, ts *TestSet, opts ...Option) (*Artifact, *RemoteStats, error) {
+	var in bytes.Buffer
+	if err := ts.Write(&in); err != nil {
+		return nil, nil, err
+	}
+	q := optionValues(opts)
+	q.Set("codec", codecName)
+	q.Set("format", "v2")
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		c.BaseURL+"/v1/compress?"+q.Encode(), &in)
+	if err != nil {
+		return nil, nil, err
+	}
+	req.Header.Set("Content-Type", "text/plain")
+	resp, err := c.do(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	art, err := Open(resp.Body)
+	if err != nil {
+		return nil, nil, err
+	}
+	return art, remoteStats(codecName, resp), nil
+}
+
+// remoteStats assembles RemoteStats from response headers and trailers.
+// Trailers become visible only after the body has been drained, which
+// every caller has done by now.
+func remoteStats(codecName string, resp *http.Response) *RemoteStats {
+	get := func(key string) string {
+		if v := resp.Header.Get(key); v != "" {
+			return v
+		}
+		return resp.Trailer.Get(key)
+	}
+	atoi := func(s string) int { n, _ := strconv.Atoi(s); return n }
+	return &RemoteStats{
+		Codec:          codecName,
+		Patterns:       atoi(get("X-Tcomp-Patterns")),
+		Chunks:         atoi(get("X-Tcomp-Chunks")),
+		OriginalBits:   atoi(get("X-Tcomp-Original-Bits")),
+		CompressedBits: atoi(get("X-Tcomp-Compressed-Bits")),
+		CacheHit:       get("X-Tcomp-Cache") == "hit",
+	}
+}
+
+// Decompress streams a container (any version — v1, v2, or chunked v3)
+// through the daemon's POST /v1/decompress and copies the textual
+// patterns to patterns. A corruption the daemon discovers mid-stream
+// arrives as an X-Tcomp-Error trailer and surfaces as an error here.
+func (c *Client) Decompress(ctx context.Context, container io.Reader, patterns io.Writer) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		c.BaseURL+"/v1/decompress", container)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := c.do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if _, err := io.Copy(patterns, resp.Body); err != nil {
+		return err
+	}
+	if msg := resp.Trailer.Get("X-Tcomp-Error"); msg != "" {
+		return fmt.Errorf("tcomp: daemon: %s", msg)
+	}
+	return nil
+}
+
+// DecompressSet expands an artifact remotely into an in-memory test
+// set — the client-side twin of tcomp.Decompress.
+func (c *Client) DecompressSet(ctx context.Context, a *Artifact) (*TestSet, error) {
+	var in bytes.Buffer
+	if err := Write(&in, a); err != nil {
+		return nil, err
+	}
+	var out bytes.Buffer
+	if err := c.Decompress(ctx, &in, &out); err != nil {
+		return nil, err
+	}
+	sc, err := testset.NewScanner(&out)
+	if err != nil {
+		return nil, err
+	}
+	ts := testset.New(sc.Width())
+	for {
+		v, err := sc.Next()
+		if err == io.EOF {
+			return ts, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		ts.Add(v)
+	}
+}
+
+// Codecs fetches the daemon's registry listing with per-codec parameter
+// schemas (GET /v1/codecs).
+func (c *Client) Codecs(ctx context.Context) ([]CodecInfo, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/codecs", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var infos []CodecInfo
+	if err := json.NewDecoder(resp.Body).Decode(&infos); err != nil {
+		return nil, err
+	}
+	return infos, nil
+}
+
+// Health probes GET /healthz. It returns nil while the daemon accepts
+// new work and an error once it is unreachable or draining.
+func (c *Client) Health(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.do(req)
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	return nil
+}

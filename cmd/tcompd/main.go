@@ -1,0 +1,99 @@
+// Command tcompd is the test-data compression daemon: a long-running
+// HTTP service that multiplexes many clients over the codec registry,
+// the chunked stream container, and the shared pipeline worker budget.
+// It is the serving face of the engine — the one-shot CLIs (tcompress,
+// tdecompress) delegate to it with -remote.
+//
+// Usage:
+//
+//	tcompd -addr :8077 -workers 8 -cache-bytes 268435456
+//
+// Endpoints: POST /v1/compress, POST /v1/decompress, GET /v1/codecs,
+// GET /healthz, GET /metrics. See the README's Serving section for curl
+// examples.
+//
+// On SIGTERM or SIGINT the daemon drains gracefully: /healthz flips to
+// 503 so load balancers stop routing here, the listener stops accepting
+// new connections, every in-flight request runs to completion (bounded
+// by -drain-timeout), and the final metrics snapshot is flushed to
+// stderr.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tcompd: ")
+	var (
+		addr          = flag.String("addr", ":8077", "listen address (host:port; port 0 picks an ephemeral port)")
+		workers       = flag.Int("workers", 0, "shared compression worker budget (0 = one per CPU); concurrent requests queue for these tokens instead of oversubscribing")
+		cacheBytes    = flag.Int64("cache-bytes", 256<<20, "content-addressed result cache capacity in bytes (0 disables)")
+		cacheInputCap = flag.Int64("cache-input-cap", 8<<20, "largest canonical input eligible for caching; bigger submissions stream through uncached")
+		maxBody       = flag.Int64("max-body", 1<<30, "request body cap in bytes")
+		drainTimeout  = flag.Duration("drain-timeout", 30*time.Second, "how long to wait for in-flight requests on shutdown")
+		portFile      = flag.String("portfile", "", "write the bound address to this file once listening (for smoke tests and supervisors)")
+	)
+	flag.Parse()
+
+	s := serve.New(serve.Config{
+		Workers:         *workers,
+		CacheBytes:      *cacheBytes,
+		CacheInputBytes: *cacheInputCap,
+		MaxBodyBytes:    *maxBody,
+	})
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("listening on %s (workers %d, cache %d MiB)",
+		ln.Addr(), s.WorkerBudget(), *cacheBytes>>20)
+	if *portFile != "" {
+		if err := os.WriteFile(*portFile, []byte(ln.Addr().String()), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Serve until SIGTERM/SIGINT, then drain: stop accepting, let
+	// in-flight requests finish, flush metrics.
+	idle := make(chan struct{})
+	go func() {
+		defer close(idle)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, syscall.SIGTERM, os.Interrupt)
+		<-sig
+		log.Printf("draining (waiting up to %v for in-flight requests)", *drainTimeout)
+		s.StartDrain()
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			log.Printf("drain incomplete: %v", err)
+		}
+	}()
+
+	if err := httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	<-idle
+	fmt.Fprintln(os.Stderr, s.Metrics().String())
+	log.Print("drained; bye")
+}

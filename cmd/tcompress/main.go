@@ -8,7 +8,14 @@
 //	tcompress -in tests.txt -out tests.tcmp -method golomb
 //	tcompress -in tests.txt -method 9c -k 8 -stats
 //	tcompress -stream -method fdr < tests.txt > tests.tcmp
+//	tcompress -remote http://localhost:8077 -method golomb < tests.txt > tests.tcmp
 //	tcompress -list
+//
+// With -remote the compression is delegated to a tcompd daemon: the
+// textual input streams up, the chunked stream container (format v3)
+// streams back, and the same -k/-l/-seed/... flags travel as query
+// parameters. Repeat submissions hit the daemon's content-addressed
+// result cache.
 //
 // Methods: every codec in the registry (ea, 9c, 9chc, golomb, fdr, rl,
 // selhuff); all of them support container output.
@@ -56,6 +63,7 @@ func main() {
 		workers = flag.Int("workers", 0, "parallel EA runs on the pipeline engine (0 = one per CPU, 1 = serial; results are identical at any setting)")
 		stream  = flag.Bool("stream", false, "stream textual patterns through the chunked container format at O(chunk) memory (default stdin to stdout)")
 		chunk   = flag.Int("chunk", 0, "patterns per stream chunk (0 = about 1 Mbit of original data per chunk)")
+		remote  = flag.String("remote", "", "delegate compression to a tcompd daemon at this base URL (output is a chunked stream container)")
 	)
 	flag.Parse()
 
@@ -115,6 +123,11 @@ func main() {
 	}
 	if *chunk > 0 {
 		opts = append(opts, tcomp.WithChunkPatterns(*chunk))
+	}
+
+	if *remote != "" {
+		runRemote(ctx, *remote, r, *out, *method, opts)
+		return
 	}
 
 	if *stream {
@@ -210,4 +223,30 @@ func runStream(ctx context.Context, r io.Reader, out, method string, opts []tcom
 	}
 	fmt.Fprintf(os.Stderr, "%s: rate %.2f%% (%d -> %d bits), %d patterns in %d chunks (chunked stream container)\n",
 		method, sw.RatePercent(), sw.OriginalBits(), sw.CompressedBits(), sw.Patterns(), sw.Chunks())
+}
+
+// runRemote streams the input through a tcompd daemon and writes the
+// returned chunked stream container. Diagnostics (rate, cache state) go
+// to stderr because stdout is the default container sink.
+func runRemote(ctx context.Context, base string, r io.Reader, out, method string, opts []tcomp.Option) {
+	var w io.Writer = os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	c := tcomp.NewClient(base)
+	stats, err := c.Compress(ctx, method, r, w, opts...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cached := ""
+	if stats.CacheHit {
+		cached = ", served from cache"
+	}
+	fmt.Fprintf(os.Stderr, "%s: rate %.2f%% (%d -> %d bits), %d patterns in %d chunks (remote %s%s)\n",
+		method, stats.RatePercent(), stats.OriginalBits, stats.CompressedBits, stats.Patterns, stats.Chunks, base, cached)
 }

@@ -11,10 +11,17 @@
 //
 //	tdecompress -in tests.tcmp -out expanded.txt [-verify tests.txt]
 //	tdecompress -stream < tests.tcmp > expanded.txt
+//	tdecompress -remote http://localhost:8077 < tests.tcmp > expanded.txt
+//
+// With -remote the expansion is delegated to a tcompd daemon: the
+// container streams up, the textual patterns stream back, and -verify
+// still checks the result locally against the original.
 package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -22,6 +29,7 @@ import (
 	"os"
 
 	tcomp "repro"
+	"repro/internal/bitstream"
 	"repro/internal/container"
 	"repro/internal/decoder"
 	"repro/internal/testset"
@@ -37,6 +45,7 @@ func main() {
 		verify = flag.String("verify", "", "original test-set file to verify against")
 		fsm    = flag.Bool("fsm", false, "decode through the hardware FSM model and report cycles (block codecs only)")
 		stream = flag.Bool("stream", false, "expand a chunked stream container pattern-by-pattern at O(chunk) memory")
+		remote = flag.String("remote", "", "delegate decompression to a tcompd daemon at this base URL")
 	)
 	flag.Parse()
 
@@ -49,21 +58,31 @@ func main() {
 		defer f.Close()
 		r = f
 	}
-	// Peek at magic+version so chunked containers are routed to the
-	// streaming reader even without -stream.
-	br := bufio.NewReader(r)
-	hdr, err := br.Peek(5)
-	chunked := err == nil && len(hdr) == 5 && string(hdr[:4]) == "TCMP" && hdr[4] == container.Version3
 
-	if *stream || chunked {
+	if *remote != "" {
 		if *fsm {
-			log.Fatal("-fsm applies to buffered block-codec containers, not chunked streams")
+			log.Fatal("-fsm decodes locally; it cannot be combined with -remote")
 		}
-		runStream(br, *out, *verify)
+		runRemote(*remote, bufio.NewReader(r), *out, *verify)
 		return
 	}
 
-	art, err := tcomp.Open(br)
+	// One shared version probe (container.Sniff) routes chunked
+	// containers to the streaming reader even without -stream.
+	version, rest, err := container.Sniff(bufio.NewReader(r))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *stream || version == container.Version3 {
+		if *fsm {
+			log.Fatal("-fsm applies to buffered block-codec containers, not chunked streams")
+		}
+		runStream(rest, *out, *verify)
+		return
+	}
+
+	art, err := tcomp.Open(rest)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -144,7 +163,65 @@ func runStream(r io.Reader, out, verify string) {
 	}
 	fmt.Fprintf(os.Stderr, "container: codec %s, chunked stream, width %d, %d patterns/chunk\n",
 		sr.Codec(), sr.Width(), sr.ChunkPatterns())
+	expandStream(sr.Width(), sr.Next, out, verify, func(err error) string {
+		return streamFailureLine(sr.ChunkIndex(), err)
+	})
+}
 
+// streamFailureLine renders a chunked-stream read failure as one
+// actionable line naming the failing chunk, instead of a wrapped Go
+// error chain: the operator needs to know *where* the stream died and
+// *what to do*, not which reader layer noticed first.
+func streamFailureLine(chunk int, err error) string {
+	reason := "corrupt data"
+	switch {
+	case errors.Is(err, container.ErrCRC):
+		reason = "checksum mismatch (bit rot or a bad transfer)"
+	case errors.Is(err, bitstream.ErrEOS):
+		reason = "encoded payload ended early (corrupt or truncated chunk)"
+	case errors.Is(err, io.ErrUnexpectedEOF), errors.Is(err, io.EOF):
+		reason = "input ended early (truncated file or transfer)"
+	}
+	return fmt.Sprintf("stream unreadable at chunk %d: %s; re-transfer the container or recompress the source", chunk, reason)
+}
+
+// runRemote delegates expansion to a tcompd daemon, streaming the
+// container up and the textual patterns back down; -verify still runs
+// locally against the original.
+func runRemote(base string, r io.Reader, out, verify string) {
+	c := tcomp.NewClient(base)
+	errAborted := errors.New("tdecompress: remote expansion aborted")
+	pr, pw := io.Pipe()
+	done := make(chan error, 1)
+	go func() {
+		err := c.Decompress(context.Background(), r, pw)
+		pw.CloseWithError(err)
+		done <- err
+	}()
+	// drainRemote unblocks the copier goroutine before waiting on it —
+	// waiting first would deadlock against a daemon still streaming
+	// into the unread pipe — and prefers the daemon's error (the
+	// actionable one) over the local parse error.
+	drainRemote := func(localErr error) string {
+		pr.CloseWithError(errAborted)
+		if derr := <-done; derr != nil && !errors.Is(derr, errAborted) {
+			return derr.Error()
+		}
+		return localErr.Error()
+	}
+	sc, err := testset.NewScanner(pr)
+	if err != nil {
+		log.Fatal(drainRemote(err))
+	}
+	expandStream(sc.Width(), sc.Next, out, verify, drainRemote)
+}
+
+// expandStream is the shared expansion loop behind the local streaming
+// and remote paths: pull patterns from next until io.EOF, verify each
+// against the original when -verify is set, and write the textual
+// output incrementally. renderErr turns a pattern-source failure into
+// the fatal operator-facing message.
+func expandStream(width int, next func() (tritvec.Vector, error), out, verify string, renderErr func(error) string) {
 	var origSc *testset.Scanner
 	if verify != "" {
 		vf, err := os.Open(verify)
@@ -155,8 +232,8 @@ func runStream(r io.Reader, out, verify string) {
 		if origSc, err = testset.NewScanner(bufio.NewReader(vf)); err != nil {
 			log.Fatal(err)
 		}
-		if origSc.Width() != sr.Width() {
-			log.Fatalf("verification FAILED: original width %d, container width %d", origSc.Width(), sr.Width())
+		if origSc.Width() != width {
+			log.Fatalf("verification FAILED: original width %d, decoded width %d", origSc.Width(), width)
 		}
 	}
 
@@ -169,18 +246,18 @@ func runStream(r io.Reader, out, verify string) {
 		defer f.Close()
 		w = f
 	}
-	pw, err := testset.NewPatternWriter(w, sr.Width())
+	pw, err := testset.NewPatternWriter(w, width)
 	if err != nil {
 		log.Fatal(err)
 	}
 	n := 0
 	for {
-		v, err := sr.Next()
+		v, err := next()
 		if err == io.EOF {
 			break
 		}
 		if err != nil {
-			log.Fatal(err)
+			log.Fatal(renderErr(err))
 		}
 		if origSc != nil {
 			o, err := origSc.Next()

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"math/rand"
+	"strings"
+	"testing"
+
+	tcomp "repro"
+	"repro/internal/testset"
+)
+
+// truncatedFixture compresses a small set into a chunked v3 container
+// and cuts it short, returning the bytes and the index of the chunk the
+// truncation lands in.
+func truncatedFixture(t *testing.T) []byte {
+	t.Helper()
+	ts := testset.Random(16, 40, 0.4, rand.New(rand.NewSource(5)))
+	var buf bytes.Buffer
+	sw, err := tcomp.NewStreamWriter(context.Background(), &buf, "rl", ts.Width, tcomp.WithChunkPatterns(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.WriteSet(ts); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()[:buf.Len()*2/3]
+}
+
+// drainStream reads the fixture until it fails, returning the failing
+// chunk index and the raw error — the inputs streamFailureLine turns
+// into the user-facing message.
+func drainStream(t *testing.T, data []byte) (int, error) {
+	t.Helper()
+	sr, err := tcomp.NewStreamReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("fixture header unreadable: %v", err)
+	}
+	for {
+		_, err := sr.Next()
+		if err == io.EOF {
+			t.Fatal("truncated fixture read to EOF without error")
+		}
+		if err != nil {
+			return sr.ChunkIndex(), err
+		}
+	}
+}
+
+// TestStreamFailureLine: a truncated v3 container produces one
+// actionable line naming the failing chunk — not a wrapped Go error
+// chain.
+func TestStreamFailureLine(t *testing.T) {
+	idx, err := drainStream(t, truncatedFixture(t))
+	if idx < 1 {
+		t.Fatalf("truncation at 2/3 of a 5-chunk stream should fail past chunk 0, got %d", idx)
+	}
+	line := streamFailureLine(idx, err)
+	if strings.ContainsAny(line, "\n") {
+		t.Fatalf("message is not one line: %q", line)
+	}
+	if !strings.Contains(line, "chunk") {
+		t.Fatalf("message does not name the failing chunk: %q", line)
+	}
+	if !strings.Contains(line, "truncated") {
+		t.Fatalf("truncation not called out: %q", line)
+	}
+	if strings.Contains(line, "%!") || strings.Contains(line, "tcomp:") || strings.Contains(line, "container:") {
+		t.Fatalf("Go error chain leaked into the message: %q", line)
+	}
+	if !strings.Contains(line, "re-transfer") {
+		t.Fatalf("message is not actionable: %q", line)
+	}
+}
+
+// TestStreamFailureLineCorruption: a CRC failure (flipped byte inside a
+// frame) is reported as corruption at the right chunk.
+func TestStreamFailureLineCorruption(t *testing.T) {
+	ts := testset.Random(16, 40, 0.4, rand.New(rand.NewSource(6)))
+	var buf bytes.Buffer
+	sw, err := tcomp.NewStreamWriter(context.Background(), &buf, "rl", ts.Width, tcomp.WithChunkPatterns(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.WriteSet(ts); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[len(data)*2/3] ^= 0xFF // land inside a mid-stream frame
+
+	idx, err := drainStream(t, data)
+	line := streamFailureLine(idx, err)
+	if !strings.Contains(line, "chunk") || strings.Contains(line, "\n") {
+		t.Fatalf("corruption message malformed: %q", line)
+	}
+}

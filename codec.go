@@ -162,3 +162,70 @@ func codecNamesLocked() []string {
 	sort.Strings(names)
 	return names
 }
+
+// CodecParam describes one tunable a codec reads: the functional option
+// that sets it locally and the query parameter that sets it against a
+// tcompd daemon. It is the machine-readable twin of the option docs
+// above.
+type CodecParam struct {
+	Query       string `json:"query"`
+	Option      string `json:"option"`
+	Type        string `json:"type"`
+	Default     string `json:"default"`
+	Description string `json:"description"`
+}
+
+// CodecInfo is one entry of the registry listing served by
+// GET /v1/codecs: the codec name plus its parameter schema.
+type CodecInfo struct {
+	Name   string       `json:"name"`
+	Params []CodecParam `json:"params"`
+}
+
+// Shared parameter rows, reused across the codecs that read them.
+var (
+	paramSeed    = CodecParam{Query: "seed", Option: "WithSeed", Type: "int64", Default: "1", Description: "random seed; the root of the per-chunk derivation in streaming mode"}
+	paramK       = func(def string) CodecParam { return CodecParam{Query: "k", Option: "WithBlockLen", Type: "int", Default: def, Description: "input block length K"} }
+	paramWorkers = CodecParam{Query: "workers", Option: "WithWorkers", Type: "int", Default: "0", Description: "parallelism bound (0 = one per CPU; results identical at any setting)"}
+)
+
+// codecParamSchema maps registry names to the options each codec reads
+// (mirroring the option documentation). Codecs registered by third
+// parties without a row here report an empty schema.
+var codecParamSchema = map[string][]CodecParam{
+	"ea": {
+		paramSeed,
+		paramK("12"),
+		{Query: "l", Option: "WithMVCount", Type: "int", Default: "64", Description: "number of matching vectors L"},
+		{Query: "runs", Option: "WithRuns", Type: "int", Default: "5", Description: "independent EA runs"},
+		paramWorkers,
+	},
+	"9c":   {paramK("8")},
+	"9chc": {paramK("8")},
+	"golomb": {
+		{Query: "m", Option: "WithGolombM", Type: "int", Default: "0", Description: "Golomb parameter M (0 = search powers of two up to 256)"},
+	},
+	"fdr": {},
+	"rl": {
+		{Query: "b", Option: "WithCounterWidth", Type: "int", Default: "4", Description: "run-length counter width in bits"},
+	},
+	"selhuff": {
+		paramK("8"),
+		{Query: "d", Option: "WithDictSize", Type: "int", Default: "8", Description: "selective-Huffman dictionary size D"},
+	},
+}
+
+// CodecSchemas returns the full registry listing with per-codec
+// parameter schemas, sorted by name — the payload of GET /v1/codecs.
+func CodecSchemas() []CodecInfo {
+	names := Codecs()
+	infos := make([]CodecInfo, 0, len(names))
+	for _, name := range names {
+		params := codecParamSchema[name]
+		if params == nil {
+			params = []CodecParam{}
+		}
+		infos = append(infos, CodecInfo{Name: name, Params: params})
+	}
+	return infos
+}

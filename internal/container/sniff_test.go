@@ -1,0 +1,103 @@
+package container
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+// TestSniffVersions: the shared probe detects every format version and
+// leaves a replayable stream behind — the parsed container must come
+// out of rest exactly as if the caller had never sniffed.
+func TestSniffVersions(t *testing.T) {
+	v1 := fuzzSeedV1(t)
+	v2 := fuzzSeedV2(t)
+
+	var v3buf bytes.Buffer
+	cw, err := NewChunkWriter(&v3buf, StreamHeader{Codec: "rl", Width: 4, ChunkPatterns: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cw.WriteChunk(&Chunk{Patterns: 2, Payload: []byte{0xA0}, NBits: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	v3 := v3buf.Bytes()
+
+	cases := []struct {
+		name    string
+		data    []byte
+		version int
+	}{
+		{"v1", v1, 1},
+		{"v2", v2, Version2},
+		{"v3", v3, Version3},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			version, rest, err := Sniff(bytes.NewReader(tc.data))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if version != tc.version {
+				t.Fatalf("Sniff = %d, want %d", version, tc.version)
+			}
+			replay, err := io.ReadAll(rest)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(replay, tc.data) {
+				t.Fatal("rest does not replay the full stream")
+			}
+		})
+	}
+
+	// The replayed stream feeds the version-appropriate parser.
+	_, rest, err := Sniff(bytes.NewReader(v2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := ReadAny(rest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Codec != "golomb" {
+		t.Fatalf("ReadAny after Sniff: codec %q", c.Codec)
+	}
+	_, rest, err = Sniff(bytes.NewReader(v3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr, err := NewChunkReader(rest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cr.Header().Codec != "rl" {
+		t.Fatalf("NewChunkReader after Sniff: codec %q", cr.Header().Codec)
+	}
+}
+
+func TestSniffRejections(t *testing.T) {
+	if _, _, err := Sniff(bytes.NewReader([]byte("TC"))); err == nil {
+		t.Fatal("short input accepted")
+	}
+	if _, _, err := Sniff(strings.NewReader("NOPE!")); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	if _, _, err := Sniff(bytes.NewReader([]byte{'T', 'C', 'M', 'P', 99})); err == nil {
+		t.Fatal("unknown version accepted")
+	}
+	// Even on error the consumed bytes replay, so a caller can report
+	// or re-route the raw prefix.
+	_, rest, err := Sniff(strings.NewReader("NOPE!"))
+	if err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	replay, _ := io.ReadAll(rest)
+	if string(replay) != "NOPE!" {
+		t.Fatalf("error path replay %q", replay)
+	}
+}

@@ -36,10 +36,17 @@ package container
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
 )
+
+// ErrCRC marks a checksum failure in a chunked stream — header, chunk
+// frame, or trailer. Wrapped by the specific mismatch errors; test with
+// errors.Is(err, ErrCRC). Callers (tdecompress's operator-facing
+// message) branch on it structurally instead of matching error text.
+var ErrCRC = errors.New("container: CRC mismatch")
 
 const (
 	// Version3 is the chunked stream-container format version.
@@ -195,23 +202,20 @@ type ChunkReader struct {
 	done  bool
 }
 
-// NewChunkReader parses the stream header (including magic and version).
+// NewChunkReader parses the stream header (including magic and version,
+// through the shared Sniff probe).
 func NewChunkReader(r io.Reader) (*ChunkReader, error) {
-	var m [4]byte
-	if _, err := io.ReadFull(r, m[:]); err != nil {
-		return nil, err
-	}
-	if m != magic {
-		return nil, fmt.Errorf("container: bad magic %q", m)
-	}
-	var version uint8
-	if err := binary.Read(r, binary.BigEndian, &version); err != nil {
+	version, rest, err := Sniff(r)
+	if err != nil {
 		return nil, err
 	}
 	if version != Version3 {
 		return nil, fmt.Errorf("container: version %d is not a chunked stream container (want %d)", version, Version3)
 	}
-	return newChunkReaderBody(r)
+	if err := discardPrologue(rest); err != nil {
+		return nil, err
+	}
+	return newChunkReaderBody(rest)
 }
 
 // newChunkReaderBody parses the v3 header after magic and version,
@@ -232,7 +236,7 @@ func newChunkReaderBody(r io.Reader) (*ChunkReader, error) {
 	hdrBytes := append([]byte{nameLen}, rest[:len(rest)-4]...)
 	crc := binary.BigEndian.Uint32(rest[len(rest)-4:])
 	if got := crc32.ChecksumIEEE(hdrBytes); got != crc {
-		return nil, fmt.Errorf("container: stream header CRC mismatch: got %08x, want %08x", got, crc)
+		return nil, fmt.Errorf("container: stream header %w: got %08x, want %08x", ErrCRC, got, crc)
 	}
 	cr := &ChunkReader{r: r}
 	cr.hdr.Codec = string(rest[:nameLen])
@@ -280,7 +284,7 @@ func (cr *ChunkReader) Next() (*Chunk, error) {
 		return nil, fmt.Errorf("container: truncated frame CRC: %w", err)
 	}
 	if got := crc32.ChecksumIEEE(body); got != crc {
-		return nil, fmt.Errorf("container: chunk CRC mismatch: got %08x, want %08x", got, crc)
+		return nil, fmt.Errorf("container: chunk %w: got %08x, want %08x", ErrCRC, got, crc)
 	}
 	c, err := parseChunkBody(body, &cr.hdr)
 	if err != nil {
@@ -301,7 +305,7 @@ func (cr *ChunkReader) readTrailer() error {
 	total := binary.BigEndian.Uint32(buf[0:4])
 	crc := binary.BigEndian.Uint32(buf[4:8])
 	if got := crc32.ChecksumIEEE(buf[0:4]); got != crc {
-		return fmt.Errorf("container: trailer CRC mismatch: got %08x, want %08x", got, crc)
+		return fmt.Errorf("container: trailer %w: got %08x, want %08x", ErrCRC, got, crc)
 	}
 	if int(total) != cr.total {
 		return fmt.Errorf("container: trailer promises %d patterns, frames carried %d", total, cr.total)

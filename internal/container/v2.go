@@ -172,30 +172,24 @@ func WriteV2(w io.Writer, c *Container) error {
 // codec name and the structural MV/codeword header is re-encoded as the
 // equivalent block-parameter blob, so callers see one uniform shape.
 func ReadAny(r io.Reader) (*Container, error) {
-	var m [4]byte
-	if _, err := io.ReadFull(r, m[:]); err != nil {
+	version, rest, err := Sniff(r)
+	if err != nil {
 		return nil, err
 	}
-	if m != magic {
-		return nil, fmt.Errorf("container: bad magic %q", m)
-	}
-	var version uint8
-	if err := binary.Read(r, binary.BigEndian, &version); err != nil {
+	if err := discardPrologue(rest); err != nil {
 		return nil, err
 	}
 	switch version {
 	case 1:
-		f, err := readV1Body(r)
+		f, err := readV1Body(rest)
 		if err != nil {
 			return nil, err
 		}
 		return v1ToContainer(f)
 	case Version2:
-		return readV2Body(r)
-	case Version3:
-		return nil, fmt.Errorf("container: version 3 is a chunked stream container; read it with tcomp.NewStreamReader (or tdecompress, which auto-detects it)")
+		return readV2Body(rest)
 	}
-	return nil, fmt.Errorf("container: unsupported version %d", version)
+	return nil, fmt.Errorf("container: version 3 is a chunked stream container; read it with tcomp.NewStreamReader (or tdecompress, which auto-detects it)")
 }
 
 func readV2Body(r io.Reader) (*Container, error) {

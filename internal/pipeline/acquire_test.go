@@ -1,0 +1,62 @@
+package pipeline
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestLimiterAcquire pins the blocking admission-control API: Acquire
+// takes a free token immediately, waits for a busy one, and honors
+// context cancellation while queued.
+func TestLimiterAcquire(t *testing.T) {
+	lim := NewLimiter(1)
+	ctx := context.Background()
+	if err := lim.Acquire(ctx); err != nil {
+		t.Fatalf("Acquire with free token: %v", err)
+	}
+
+	// A second Acquire must block until the first Release.
+	got := make(chan error, 1)
+	go func() { got <- lim.Acquire(ctx) }()
+	select {
+	case err := <-got:
+		t.Fatalf("Acquire returned %v while the token was held", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	lim.Release()
+	select {
+	case err := <-got:
+		if err != nil {
+			t.Fatalf("Acquire after Release: %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Acquire did not wake after Release")
+	}
+
+	// Cancellation unblocks a queued Acquire with ctx.Err().
+	cctx, cancel := context.WithCancel(context.Background())
+	queued := make(chan error, 1)
+	go func() { queued <- lim.Acquire(cctx) }()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-queued:
+		if err != context.Canceled {
+			t.Fatalf("cancelled Acquire returned %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("cancelled Acquire did not return")
+	}
+
+	// The token taken above is still held exactly once: TryAcquire
+	// fails, one Release frees it.
+	if lim.TryAcquire() {
+		t.Fatal("TryAcquire succeeded while Acquire's token is held")
+	}
+	lim.Release()
+	if !lim.TryAcquire() {
+		t.Fatal("token lost after Acquire/Release cycle")
+	}
+	lim.Release()
+}

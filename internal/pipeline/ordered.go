@@ -105,7 +105,16 @@ func (o *Ordered[T]) Submit(name string, run func(ctx context.Context, seed int6
 	case o.queue <- s: // reserve the delivery slot (blocks when window is full)
 		o.next++
 	case <-o.ctx.Done():
-		return o.ctx.Err()
+		// Record the cancellation in the sticky error: this bail-out
+		// creates no slot, so the collector would otherwise never see
+		// it and Close could report success for an aborted stream.
+		err := o.ctx.Err()
+		o.mu.Lock()
+		if o.err == nil {
+			o.err = err
+		}
+		o.mu.Unlock()
+		return err
 	}
 	select {
 	case o.workers <- struct{}{}:

@@ -75,7 +75,23 @@ func (l *Limiter) TryAcquire() bool {
 	}
 }
 
-// Release returns a token taken by TryAcquire.
+// Acquire blocks until a token is free or ctx is done. It is the
+// admission-control entry point for callers that must not proceed
+// without a token (a network service queueing requests against a shared
+// worker budget), as opposed to the engine's internal TryAcquire, whose
+// callers always have inline execution as a fallback. Never call Acquire
+// while already holding a token from the same Limiter: unlike TryAcquire
+// it can wait, and a hold-and-wait cycle is a deadlock.
+func (l *Limiter) Acquire(ctx context.Context) error {
+	select {
+	case l.tokens <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Release returns a token taken by TryAcquire or Acquire.
 func (l *Limiter) Release() { <-l.tokens }
 
 // Cap returns the token capacity.

@@ -1,0 +1,66 @@
+package serve
+
+// BenchmarkServeRoundTrip measures end-to-end daemon throughput — one
+// HTTP compress followed by one HTTP decompress per iteration — at 1,
+// 8, and 64 concurrent clients sharing a GOMAXPROCS-sized worker
+// budget. The cache is disabled and every request uses a distinct seed
+// so the numbers reflect codec work, not cache hits. CI archives the
+// test2json stream as BENCH_serve.json.
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	tcomp "repro"
+)
+
+func BenchmarkServeRoundTrip(b *testing.B) {
+	s := New(Config{CacheBytes: 0})
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+	ctx := context.Background()
+
+	ts := randomSet(32, 256, 1)
+	var in bytes.Buffer
+	if err := ts.Write(&in); err != nil {
+		b.Fatal(err)
+	}
+	input := in.Bytes()
+	b.SetBytes(int64(len(input)))
+
+	for _, clients := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("clients=%d", clients), func(b *testing.B) {
+			var next atomic.Int64
+			var wg sync.WaitGroup
+			b.ResetTimer()
+			for c := 0; c < clients; c++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					client := tcomp.NewClient(hs.URL)
+					for {
+						i := next.Add(1) - 1
+						if i >= int64(b.N) {
+							return
+						}
+						var cont, text bytes.Buffer
+						if _, err := client.Compress(ctx, "golomb", bytes.NewReader(input), &cont, tcomp.WithSeed(i)); err != nil {
+							b.Error(err)
+							return
+						}
+						if err := client.Decompress(ctx, &cont, &text); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+		})
+	}
+}

@@ -1,0 +1,112 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Cache is the content-addressed result cache: SHA-256 of (canonical
+// input, codec, resolved parameters) → the exact container bytes a fresh
+// compression would produce. The mapping is sound because the engine
+// made compressed output a pure function of that key — worker count,
+// scheduling, and chunk arrival order never change the bytes (PR 1/3
+// determinism) — so serving a cached artifact is indistinguishable from
+// recompressing, minus the CPU.
+//
+// Eviction is plain LRU bounded by total byte size. Entries larger than
+// the whole budget are rejected rather than evicting everything else.
+type Cache struct {
+	mu       sync.Mutex
+	maxBytes int64
+	size     int64
+	ll       *list.List // front = most recent
+	items    map[string]*list.Element
+}
+
+// Result is one compressed artifact plus the size accounting the
+// response headers report; it is what the cache stores.
+type Result struct {
+	Body                         []byte
+	Patterns, Chunks             int
+	OriginalBits, CompressedBits int
+}
+
+// RatePercent returns the paper-style compression rate of the artifact.
+func (r *Result) RatePercent() float64 {
+	if r.OriginalBits == 0 {
+		return 0
+	}
+	return 100 * float64(r.OriginalBits-r.CompressedBits) / float64(r.OriginalBits)
+}
+
+type cacheEntry struct {
+	key string
+	res *Result
+}
+
+// NewCache returns a cache bounded to maxBytes of stored artifact bytes.
+// maxBytes <= 0 disables caching: Get always misses and Put is a no-op.
+func NewCache(maxBytes int64) *Cache {
+	return &Cache{
+		maxBytes: maxBytes,
+		ll:       list.New(),
+		items:    map[string]*list.Element{},
+	}
+}
+
+// Get returns the cached artifact for key, marking it most recently
+// used. The returned Result is shared — callers must treat it as
+// read-only.
+func (c *Cache) Get(key string) (*Result, bool) {
+	if c == nil || c.maxBytes <= 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).res, true
+}
+
+// Put stores res under key, evicting least-recently-used entries until
+// the byte budget holds. Storing an existing key refreshes its recency
+// (the bytes are identical by construction — the key fixes them).
+func (c *Cache) Put(key string, res *Result) {
+	if c == nil || c.maxBytes <= 0 || int64(len(res.Body)) > c.maxBytes {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, res: res})
+	c.size += int64(len(res.Body))
+	for c.size > c.maxBytes {
+		el := c.ll.Back()
+		if el == nil {
+			break
+		}
+		e := c.ll.Remove(el).(*cacheEntry)
+		delete(c.items, e.key)
+		c.size -= int64(len(e.res.Body))
+	}
+}
+
+// Len returns the number of cached artifacts.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Bytes returns the total cached artifact size.
+func (c *Cache) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.size
+}

@@ -1,0 +1,173 @@
+package serve
+
+import (
+	"expvar"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+)
+
+// Metrics is the daemon's counter set, built from expvar primitives but
+// rooted in a private Map rather than the process-global registry, so
+// every Server (and every httptest instance in the test suite) gets an
+// independent namespace. GET /metrics serves the root map's JSON.
+type Metrics struct {
+	root *expvar.Map
+
+	// Requests counts completed requests per endpoint path.
+	Requests *expvar.Map
+	// InFlight is the number of requests currently being served.
+	InFlight *expvar.Int
+	// WorkersBusy is the number of requests currently holding a token of
+	// the shared worker budget; WorkersPeak is its high-water mark.
+	WorkersBusy *expvar.Int
+	WorkersPeak *expvar.Int
+	// BytesIn / BytesOut count request-body bytes consumed and
+	// response-body bytes produced by the compress/decompress endpoints.
+	BytesIn  *expvar.Int
+	BytesOut *expvar.Int
+	// CacheHits / CacheMisses count result-cache lookups on /v1/compress.
+	CacheHits   *expvar.Int
+	CacheMisses *expvar.Int
+	// Errors counts requests that ended in a non-2xx status.
+	Errors *expvar.Int
+
+	mu    sync.Mutex
+	rates map[string]*RateHistogram // per-codec compression-rate histograms
+	rmap  *expvar.Map
+}
+
+func newMetrics() *Metrics {
+	m := &Metrics{
+		Requests:    new(expvar.Map).Init(),
+		InFlight:    new(expvar.Int),
+		WorkersBusy: new(expvar.Int),
+		WorkersPeak: new(expvar.Int),
+		BytesIn:     new(expvar.Int),
+		BytesOut:    new(expvar.Int),
+		CacheHits:   new(expvar.Int),
+		CacheMisses: new(expvar.Int),
+		Errors:      new(expvar.Int),
+		rates:       map[string]*RateHistogram{},
+		rmap:        new(expvar.Map).Init(),
+	}
+	m.root = new(expvar.Map).Init()
+	m.root.Set("requests", m.Requests)
+	m.root.Set("in_flight", m.InFlight)
+	m.root.Set("workers_busy", m.WorkersBusy)
+	m.root.Set("workers_peak", m.WorkersPeak)
+	m.root.Set("bytes_in", m.BytesIn)
+	m.root.Set("bytes_out", m.BytesOut)
+	m.root.Set("cache_hits", m.CacheHits)
+	m.root.Set("cache_misses", m.CacheMisses)
+	m.root.Set("errors", m.Errors)
+	m.root.Set("compression_rate", m.rmap)
+	return m
+}
+
+// ObserveRate records one compression run's paper-style rate (percent)
+// under the codec's histogram, creating it on first use.
+func (m *Metrics) ObserveRate(codec string, rate float64) {
+	m.mu.Lock()
+	h, ok := m.rates[codec]
+	if !ok {
+		h = &RateHistogram{}
+		m.rates[codec] = h
+		m.rmap.Set(codec, h)
+	}
+	m.mu.Unlock()
+	h.Observe(rate)
+}
+
+// noteWorker tracks the shared-budget occupancy high-water mark.
+// expvar.Int has no compare-and-swap, so the peak update runs under the
+// metrics lock.
+func (m *Metrics) noteWorker(delta int64) {
+	m.WorkersBusy.Add(delta)
+	if delta <= 0 {
+		return
+	}
+	busy := m.WorkersBusy.Value()
+	m.mu.Lock()
+	if m.WorkersPeak.Value() < busy {
+		m.WorkersPeak.Set(busy)
+	}
+	m.mu.Unlock()
+}
+
+// String returns the metrics snapshot as a JSON object.
+func (m *Metrics) String() string { return m.root.String() }
+
+// ServeHTTP implements GET /metrics.
+func (m *Metrics) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	fmt.Fprintln(w, m.root.String())
+}
+
+// rateBuckets are the histogram bucket upper bounds in rate percent. A
+// compression rate can be negative (the coded stream grew), so the first
+// bucket is open below.
+var rateBuckets = []float64{0, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+
+// RateHistogram is a fixed-bucket histogram of compression rates,
+// exposed as an expvar.Var. Buckets follow the paper's rate definition
+// 100·(orig−comp)/orig: "<0" collects runs where the coded stream grew,
+// then ten-point decades up to 100.
+type RateHistogram struct {
+	mu      sync.Mutex
+	buckets [12]int64
+	count   int64
+	sum     float64
+}
+
+// Observe records one rate observation (percent).
+func (h *RateHistogram) Observe(rate float64) {
+	idx := len(rateBuckets)
+	for i, ub := range rateBuckets {
+		if rate <= ub {
+			idx = i
+			break
+		}
+	}
+	h.mu.Lock()
+	h.buckets[idx]++
+	h.count++
+	h.sum += rate
+	h.mu.Unlock()
+}
+
+// String renders the histogram as JSON (count, mean, bucket counts).
+func (h *RateHistogram) String() string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var b strings.Builder
+	mean := 0.0
+	if h.count > 0 {
+		mean = h.sum / float64(h.count)
+	}
+	fmt.Fprintf(&b, `{"count":%d,"mean":%.2f,"buckets":{`, h.count, mean)
+	for i := range h.buckets {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%q:%d", bucketLabel(i), h.buckets[i])
+	}
+	b.WriteString("}}")
+	return b.String()
+}
+
+func bucketLabel(i int) string {
+	switch {
+	case i == 0:
+		return "<0"
+	case i < len(rateBuckets):
+		return fmt.Sprintf("%g-%g", rateBuckets[i-1], rateBuckets[i])
+	default:
+		return ">100"
+	}
+}

@@ -1,0 +1,696 @@
+// Package serve is the network face of the compression engine: a
+// long-running HTTP service (cmd/tcompd) that multiplexes many clients
+// over the codec registry, the streaming container, and the pipeline
+// worker pool.
+//
+// Endpoints:
+//
+//	POST /v1/compress    textual patterns (or binary test set) in,
+//	                     container out; ?codec= selects the scheme and
+//	                     the remaining query parameters map onto the
+//	                     functional options (see GET /v1/codecs).
+//	                     ?format=v3 (default) streams a chunked
+//	                     container at O(chunk) memory; ?format=v2
+//	                     buffers and answers with the universal
+//	                     container.
+//	POST /v1/decompress  container of any version in (v1/v2/v3
+//	                     auto-detected through container.Sniff),
+//	                     textual patterns out.
+//	GET  /v1/codecs      registry listing with per-codec param schema.
+//	GET  /healthz        liveness; 503 once draining.
+//	GET  /metrics        expvar-style JSON counter snapshot.
+//
+// Three properties carry over from the engine. Memory: both data
+// endpoints stream through tcomp.StreamWriter/StreamReader, so a
+// multi-gigabyte test set never materializes in RAM. Admission: every
+// request must hold a token of one shared pipeline.Limiter before codec
+// work starts, so N concurrent requests share a fixed worker budget
+// instead of oversubscribing the machine. Determinism: compressed bytes
+// are a pure function of (input, codec, parameters) — worker count and
+// scheduling never leak into output — which is what makes the
+// content-addressed result cache sound.
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"runtime"
+	"strconv"
+	"sync/atomic"
+
+	tcomp "repro"
+	"repro/internal/container"
+	"repro/internal/pipeline"
+	"repro/internal/testset"
+)
+
+// Config tunes a Server.
+type Config struct {
+	// Workers is the shared compression worker budget: the number of
+	// requests that may run codec work concurrently. Requests beyond it
+	// queue (context-aware) instead of oversubscribing. <= 0 means
+	// GOMAXPROCS.
+	Workers int
+	// CacheBytes bounds the content-addressed result cache. 0 disables
+	// caching.
+	CacheBytes int64
+	// CacheInputBytes caps the canonical input size eligible for
+	// caching: larger submissions stream straight through without a
+	// cache probe (the probe would have to buffer the input to hash
+	// it). <= 0 means 8 MiB.
+	CacheInputBytes int64
+	// MaxBodyBytes caps a request body. <= 0 means 1 GiB.
+	MaxBodyBytes int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.CacheInputBytes <= 0 {
+		c.CacheInputBytes = 8 << 20
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 30
+	}
+	return c
+}
+
+// Server implements the tcompd HTTP API on top of the tcomp engine.
+type Server struct {
+	cfg      Config
+	lim      *pipeline.Limiter
+	cache    *Cache
+	metrics  *Metrics
+	mux      *http.ServeMux
+	draining atomic.Bool
+}
+
+// New builds a Server with its own worker budget, cache, and metrics.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		lim:     pipeline.NewLimiter(cfg.Workers),
+		cache:   NewCache(cfg.CacheBytes),
+		metrics: newMetrics(),
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/v1/compress", s.instrument("/v1/compress", s.handleCompress))
+	mux.Handle("/v1/decompress", s.instrument("/v1/decompress", s.handleDecompress))
+	mux.Handle("/v1/codecs", s.instrument("/v1/codecs", s.handleCodecs))
+	mux.Handle("/healthz", s.instrument("/healthz", s.handleHealthz))
+	mux.Handle("/metrics", s.instrument("/metrics", s.metrics.ServeHTTP))
+	s.mux = mux
+	return s
+}
+
+// Handler returns the service's HTTP handler tree.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics returns the server's counter set (also served at /metrics).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Cache returns the result cache (for inspection; may have 0 capacity).
+func (s *Server) Cache() *Cache { return s.cache }
+
+// WorkerBudget returns the shared concurrency budget.
+func (s *Server) WorkerBudget() int { return s.lim.Cap() }
+
+// StartDrain flips /healthz to 503 so load balancers stop routing new
+// work here. In-flight and already-accepted requests still complete;
+// pair it with http.Server.Shutdown, which stops accepting connections
+// and waits for handlers to return.
+func (s *Server) StartDrain() { s.draining.Store(true) }
+
+// Draining reports whether StartDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// instrument wraps a handler with the request counter, the in-flight
+// gauge, and error accounting.
+func (s *Server) instrument(path string, h http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.metrics.InFlight.Add(1)
+		defer s.metrics.InFlight.Add(-1)
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r)
+		s.metrics.Requests.Add(path, 1)
+		if sw.code >= 400 {
+			s.metrics.Errors.Add(1)
+		}
+	})
+}
+
+// statusWriter records the response status for the error counter while
+// passing Flush through so streamed responses are not buffered whole.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Unwrap lets http.NewResponseController reach the real writer.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+// enableFullDuplex opts a handler into concurrent request-body reads
+// and response writes. Go's HTTP/1.1 server otherwise closes an unread
+// body at the first response write, which would break the streaming
+// endpoints: they decode chunk N+1 from the request while chunk N's
+// patterns are already flowing out. Best-effort — test recorders do not
+// support it and do not need it. A full-duplex handler must consume the
+// body to EOF itself (drainBody) before returning; the server no longer
+// does it and a leftover read races the next request on the connection.
+func enableFullDuplex(w http.ResponseWriter) {
+	_ = http.NewResponseController(w).EnableFullDuplex()
+}
+
+// drainBody reads the remainder of a full-duplex request body. The
+// amount is bounded by MaxBytesReader, which every handler wraps the
+// body in.
+func drainBody(r io.Reader) {
+	io.Copy(io.Discard, r)
+}
+
+// abortWriter swallows writes once aborted. The streaming compress path
+// uses it to cut a failing response off mid-stream: the StreamWriter's
+// cleanup still runs (worker goroutines must be joined) but its
+// terminator and trailer never reach the client, so the container ends
+// visibly truncated. abort may race the writer's collector goroutine —
+// a frame that wins the race still lands whole, the stream just ends
+// after it.
+type abortWriter struct {
+	w       io.Writer
+	aborted atomic.Bool
+}
+
+func (a *abortWriter) abort() { a.aborted.Store(true) }
+
+func (a *abortWriter) Write(p []byte) (int, error) {
+	if a.aborted.Load() {
+		return len(p), nil
+	}
+	return a.w.Write(p)
+}
+
+// httpError answers with a JSON error object. It must only be called
+// before any body bytes have been written.
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// countingReader/countingWriter feed the bytes_in/bytes_out counters.
+type countingReader struct {
+	r io.Reader
+	n *expvar.Int
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n.Add(int64(n))
+	return n, err
+}
+
+type countingWriter struct {
+	w io.Writer
+	n *expvar.Int
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n.Add(int64(n))
+	return n, err
+}
+
+// ---- /healthz and /v1/codecs ----
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	status := "ok"
+	code := http.StatusOK
+	if s.Draining() {
+		status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"status": status})
+}
+
+func (s *Server) handleCodecs(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	json.NewEncoder(w).Encode(tcomp.CodecSchemas())
+}
+
+// ---- /v1/compress ----
+
+// compressRequest is a parsed and validated compress query.
+type compressRequest struct {
+	codecName string
+	codec     tcomp.Codec
+	format    string // "v2" or "v3"
+	opts      []tcomp.Option
+	canon     string // canonical parameter string, the query half of the cache key
+}
+
+// intParam is one accepted integer query parameter with its hostile
+// bound. Caps reject absurd values (a 2^31 MV count would drive the EA
+// into a gigantic allocation) before they reach a codec.
+type intParam struct {
+	key   string
+	max   int64
+	apply func(int64) tcomp.Option
+}
+
+var compressParams = []intParam{
+	{"seed", 0 /* full int64 range */, func(v int64) tcomp.Option { return tcomp.WithSeed(v) }},
+	{"k", 64, func(v int64) tcomp.Option { return tcomp.WithBlockLen(int(v)) }},
+	{"l", 1 << 16, func(v int64) tcomp.Option { return tcomp.WithMVCount(int(v)) }},
+	{"runs", 4096, func(v int64) tcomp.Option { return tcomp.WithRuns(int(v)) }},
+	{"workers", 4096, func(v int64) tcomp.Option { return tcomp.WithWorkers(int(v)) }},
+	{"m", 1 << 20, func(v int64) tcomp.Option { return tcomp.WithGolombM(int(v)) }},
+	{"d", 1 << 16, func(v int64) tcomp.Option { return tcomp.WithDictSize(int(v)) }},
+	{"b", 64, func(v int64) tcomp.Option { return tcomp.WithCounterWidth(int(v)) }},
+	{"chunk", container.MaxPatterns, func(v int64) tcomp.Option { return tcomp.WithChunkPatterns(int(v)) }},
+}
+
+// parseCompressQuery validates the query string; on failure it has
+// already answered with a 400 and returns ok=false.
+func parseCompressQuery(w http.ResponseWriter, q url.Values) (*compressRequest, bool) {
+	req := &compressRequest{format: "v3"}
+	known := map[string]bool{"codec": true, "format": true}
+	for _, p := range compressParams {
+		known[p.key] = true
+	}
+	for key := range q {
+		if !known[key] {
+			httpError(w, http.StatusBadRequest, "unknown query parameter %q", key)
+			return nil, false
+		}
+	}
+	req.codecName = q.Get("codec")
+	if req.codecName == "" {
+		httpError(w, http.StatusBadRequest, "missing codec parameter (see GET /v1/codecs)")
+		return nil, false
+	}
+	codec, err := tcomp.Lookup(req.codecName)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return nil, false
+	}
+	req.codec = codec
+	if f := q.Get("format"); f != "" {
+		if f != "v2" && f != "v3" {
+			httpError(w, http.StatusBadRequest, "format %q must be v2 or v3", f)
+			return nil, false
+		}
+		req.format = f
+	}
+	// The canonical parameter string lists every value that can change
+	// the output bytes, in fixed order. workers is deliberately absent:
+	// the engine guarantees worker-count-independent bytes, so requests
+	// differing only in workers share a cache entry.
+	canon := fmt.Sprintf("codec=%s|format=%s", req.codecName, req.format)
+	for _, p := range compressParams {
+		raw := q.Get(p.key)
+		if raw == "" {
+			continue
+		}
+		v, err := strconv.ParseInt(raw, 10, 64)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "parameter %s=%q is not an integer", p.key, raw)
+			return nil, false
+		}
+		if p.key != "seed" && (v < 0 || v > p.max) {
+			httpError(w, http.StatusBadRequest, "parameter %s=%d out of range [0,%d]", p.key, v, p.max)
+			return nil, false
+		}
+		req.opts = append(req.opts, p.apply(v))
+		if p.key != "workers" {
+			canon += fmt.Sprintf("|%s=%d", p.key, v)
+		}
+	}
+	req.canon = canon
+	return req, true
+}
+
+// cacheKey derives the content address of a (parameters, input) pair:
+// SHA-256 over the canonical parameter string and the canonical textual
+// form of the test set. Text and binary submissions of the same
+// patterns hash identically.
+func (req *compressRequest) cacheKey(ts *testset.TestSet) string {
+	h := sha256.New()
+	io.WriteString(h, req.canon)
+	fmt.Fprintf(h, "|w=%d\n", ts.Width)
+	for _, p := range ts.Patterns {
+		io.WriteString(h, p.String())
+		h.Write([]byte{'\n'})
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func (s *Server) handleCompress(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	req, ok := parseCompressQuery(w, r.URL.Query())
+	if !ok {
+		return
+	}
+	// Admission control: codec work needs a token of the shared budget.
+	// Requests queue here (FIFO-ish, context-aware) when all workers are
+	// busy, so 64 concurrent clients share cfg.Workers compressions.
+	if err := s.lim.Acquire(r.Context()); err != nil {
+		httpError(w, http.StatusServiceUnavailable, "request cancelled while queued for a worker")
+		return
+	}
+	s.metrics.noteWorker(1)
+	defer func() {
+		s.metrics.noteWorker(-1)
+		s.lim.Release()
+	}()
+
+	body := &countingReader{r: http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes), n: s.metrics.BytesIn}
+	br := bufio.NewReader(body)
+	if peek, err := br.Peek(4); err == nil && string(peek) == "TSET" {
+		// Binary test-set body: the format is already in-memory-sized
+		// (bounded by MaxBodyBytes), so take the buffered path. Cache
+		// eligibility is measured in canonical *textual* bytes — the
+		// unit the cache key hashes — so the same patterns are
+		// cacheable regardless of submission encoding.
+		ts, err := testset.ReadBinary(br)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "bad binary test set: %v", err)
+			return
+		}
+		canonical := int64(ts.NumPatterns()) * int64(ts.Width+1)
+		s.compressBuffered(w, r, req, ts, canonical <= s.cfg.CacheInputBytes)
+		return
+	}
+
+	sc, err := testset.NewScanner(br)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad test set: %v", err)
+		return
+	}
+	// Cache probe: buffer patterns while the canonical input stays under
+	// the cap. Most submissions end in here and become cacheable; the
+	// rare multi-gigabyte set overflows the cap and streams through
+	// uncached at O(chunk) memory.
+	ts := testset.New(sc.Width())
+	canon := int64(0)
+	overCap := false
+	for {
+		v, err := sc.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "bad pattern %d: %v", ts.NumPatterns(), err)
+			return
+		}
+		ts.Add(v)
+		canon += int64(sc.Width() + 1)
+		if canon > s.cfg.CacheInputBytes {
+			overCap = true
+			break
+		}
+	}
+	if !overCap {
+		s.compressBuffered(w, r, req, ts, true)
+		return
+	}
+	if req.format == "v2" {
+		// v2 is a monolithic container; it must materialize regardless,
+		// bounded by MaxBodyBytes. No cache: the input was never hashed.
+		for {
+			v, err := sc.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				httpError(w, http.StatusBadRequest, "bad pattern %d: %v", ts.NumPatterns(), err)
+				return
+			}
+			ts.Add(v)
+		}
+		s.compressBuffered(w, r, req, ts, false)
+		return
+	}
+	s.compressStream(w, r, req, ts, sc, body)
+}
+
+// compressBuffered serves a fully buffered submission, consulting the
+// result cache when the input qualified.
+func (s *Server) compressBuffered(w http.ResponseWriter, r *http.Request, req *compressRequest, ts *testset.TestSet, cacheable bool) {
+	var key string
+	if cacheable && s.cfg.CacheBytes > 0 {
+		key = req.cacheKey(ts)
+		if res, ok := s.cache.Get(key); ok {
+			s.metrics.CacheHits.Add(1)
+			s.writeResult(w, res, "hit")
+			return
+		}
+		s.metrics.CacheMisses.Add(1)
+	}
+	res, err := s.compressToMemory(r, req, ts)
+	if err != nil {
+		if r.Context().Err() != nil {
+			return // client gone; nothing useful to answer
+		}
+		httpError(w, http.StatusUnprocessableEntity, "compress: %v", err)
+		return
+	}
+	s.metrics.ObserveRate(req.codecName, res.RatePercent())
+	if key != "" {
+		s.cache.Put(key, res)
+	}
+	cacheState := ""
+	if key != "" {
+		cacheState = "miss"
+	}
+	s.writeResult(w, res, cacheState)
+}
+
+// compressToMemory runs the actual codec work for a buffered request.
+func (s *Server) compressToMemory(r *http.Request, req *compressRequest, ts *testset.TestSet) (*Result, error) {
+	var buf bytes.Buffer
+	if req.format == "v2" {
+		art, err := req.codec.Compress(r.Context(), ts, req.opts...)
+		if err != nil {
+			return nil, err
+		}
+		if err := tcomp.Write(&buf, art); err != nil {
+			return nil, err
+		}
+		return &Result{
+			Body:     buf.Bytes(),
+			Patterns: art.Patterns, Chunks: 0,
+			OriginalBits: art.OriginalBits, CompressedBits: art.CompressedBits,
+		}, nil
+	}
+	sw, err := tcomp.NewStreamWriter(r.Context(), &buf, req.codecName, ts.Width, req.opts...)
+	if err != nil {
+		return nil, err
+	}
+	if err := sw.WriteSet(ts); err != nil {
+		sw.Close()
+		return nil, err
+	}
+	if err := sw.Close(); err != nil {
+		return nil, err
+	}
+	return &Result{
+		Body:     buf.Bytes(),
+		Patterns: sw.Patterns(), Chunks: sw.Chunks(),
+		OriginalBits: sw.OriginalBits(), CompressedBits: sw.CompressedBits(),
+	}, nil
+}
+
+// writeResult answers with an in-memory artifact and its stats headers.
+func (s *Server) writeResult(w http.ResponseWriter, res *Result, cacheState string) {
+	h := w.Header()
+	h.Set("Content-Type", "application/octet-stream")
+	h.Set("Content-Length", strconv.Itoa(len(res.Body)))
+	h.Set("X-Tcomp-Patterns", strconv.Itoa(res.Patterns))
+	h.Set("X-Tcomp-Chunks", strconv.Itoa(res.Chunks))
+	h.Set("X-Tcomp-Original-Bits", strconv.Itoa(res.OriginalBits))
+	h.Set("X-Tcomp-Compressed-Bits", strconv.Itoa(res.CompressedBits))
+	if cacheState != "" {
+		h.Set("X-Tcomp-Cache", cacheState)
+	}
+	cw := &countingWriter{w: w, n: s.metrics.BytesOut}
+	cw.Write(res.Body)
+}
+
+// compressStream serves an over-cap submission: the already-buffered
+// prefix plus the rest of the scanner stream flow through a
+// StreamWriter directly onto the response, so memory stays O(chunk).
+// Stats travel as HTTP trailers because they are unknown until the
+// stream ends. A mid-stream failure aborts the frame stream before the
+// v3 terminator/trailer is written — the response is a *genuinely*
+// truncated container that any consumer's parser rejects, trailer-aware
+// or not — and names the reason in X-Tcomp-Error.
+func (s *Server) compressStream(w http.ResponseWriter, r *http.Request, req *compressRequest, prefix *testset.TestSet, sc *testset.Scanner, body io.Reader) {
+	enableFullDuplex(w)
+	h := w.Header()
+	h.Set("Content-Type", "application/octet-stream")
+	h.Set("Trailer", "X-Tcomp-Patterns, X-Tcomp-Chunks, X-Tcomp-Original-Bits, X-Tcomp-Compressed-Bits, X-Tcomp-Error")
+	aw := &abortWriter{w: &countingWriter{w: w, n: s.metrics.BytesOut}}
+	sw, err := tcomp.NewStreamWriter(r.Context(), aw, req.codecName, prefix.Width, req.opts...)
+	if err != nil {
+		// NewStreamWriter validates before writing: the response is
+		// still clean, a real error answer is possible.
+		httpError(w, http.StatusUnprocessableEntity, "compress: %v", err)
+		return
+	}
+	fail := func(err error) {
+		// Abort first: sw.Close would otherwise flush a terminator and
+		// trailer that make the truncated stream look complete.
+		aw.abort()
+		sw.Close()
+		h.Set("X-Tcomp-Error", err.Error())
+		drainBody(body)
+	}
+	if err := sw.WriteSet(prefix); err != nil {
+		fail(err)
+		return
+	}
+	// sw's counters are owned by its collector goroutine until Close,
+	// so the submission index is tracked locally for error messages.
+	sent := prefix.NumPatterns()
+	for {
+		v, err := sc.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			fail(fmt.Errorf("bad pattern %d: %v", sent, err))
+			return
+		}
+		if err := sw.WritePattern(v); err != nil {
+			fail(err)
+			return
+		}
+		sent++
+	}
+	if err := sw.Close(); err != nil {
+		fail(err)
+		return
+	}
+	s.metrics.ObserveRate(req.codecName, sw.RatePercent())
+	h.Set("X-Tcomp-Patterns", strconv.Itoa(sw.Patterns()))
+	h.Set("X-Tcomp-Chunks", strconv.Itoa(sw.Chunks()))
+	h.Set("X-Tcomp-Original-Bits", strconv.Itoa(sw.OriginalBits()))
+	h.Set("X-Tcomp-Compressed-Bits", strconv.Itoa(sw.CompressedBits()))
+}
+
+// ---- /v1/decompress ----
+
+func (s *Server) handleDecompress(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	if err := s.lim.Acquire(r.Context()); err != nil {
+		httpError(w, http.StatusServiceUnavailable, "request cancelled while queued for a worker")
+		return
+	}
+	s.metrics.noteWorker(1)
+	defer func() {
+		s.metrics.noteWorker(-1)
+		s.lim.Release()
+	}()
+
+	body := &countingReader{r: http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes), n: s.metrics.BytesIn}
+	version, rest, err := container.Sniff(body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "not a tcomp container: %v", err)
+		return
+	}
+	if version != container.Version3 {
+		art, err := tcomp.Open(rest)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "bad container: %v", err)
+			return
+		}
+		ts, err := tcomp.Decompress(art)
+		if err != nil {
+			httpError(w, http.StatusUnprocessableEntity, "decompress: %v", err)
+			return
+		}
+		h := w.Header()
+		h.Set("Content-Type", "text/plain; charset=utf-8")
+		h.Set("X-Tcomp-Codec", art.Codec)
+		h.Set("X-Tcomp-Patterns", strconv.Itoa(ts.NumPatterns()))
+		ts.Write(&countingWriter{w: w, n: s.metrics.BytesOut})
+		return
+	}
+
+	sr, err := tcomp.NewStreamReader(rest)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad chunked container: %v", err)
+		return
+	}
+	enableFullDuplex(w)
+	h := w.Header()
+	h.Set("Content-Type", "text/plain; charset=utf-8")
+	h.Set("X-Tcomp-Codec", sr.Codec())
+	h.Set("Trailer", "X-Tcomp-Patterns, X-Tcomp-Error")
+	pw, err := testset.NewPatternWriter(&countingWriter{w: w, n: s.metrics.BytesOut}, sr.Width())
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, "decompress: %v", err)
+		return
+	}
+	n := 0
+	for {
+		v, err := sr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			// The textual stream is already flowing; truncate it and
+			// name the failing chunk in the trailer.
+			pw.Close()
+			h.Set("X-Tcomp-Error", fmt.Sprintf("stream corrupt or truncated at chunk %d: %v", sr.ChunkIndex(), err))
+			drainBody(body)
+			return
+		}
+		if err := pw.WritePattern(v); err != nil {
+			return // client went away mid-response
+		}
+		n++
+	}
+	if err := pw.Close(); err != nil {
+		return
+	}
+	h.Set("X-Tcomp-Patterns", strconv.Itoa(n))
+	drainBody(body)
+}

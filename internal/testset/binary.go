@@ -70,6 +70,24 @@ func (ts *TestSet) WriteBinary(w io.Writer) error {
 	return bw.Flush()
 }
 
+// readSized reads exactly n bytes without trusting n for a single
+// up-front allocation: data arrives in bounded chunks, so a hostile
+// length costs at most one chunk of memory before the stream runs dry
+// (the same discipline as the container readers).
+func readSized(r io.Reader, n int) ([]byte, error) {
+	const chunk = 64 << 10
+	buf := make([]byte, 0, min(n, chunk))
+	for len(buf) < n {
+		c := min(n-len(buf), chunk)
+		tmp := make([]byte, c)
+		if _, err := io.ReadFull(r, tmp); err != nil {
+			return nil, fmt.Errorf("testset: truncated binary payload (%d of %d bytes): %w", len(buf), n, err)
+		}
+		buf = append(buf, tmp...)
+	}
+	return buf, nil
+}
+
 // ReadBinary parses the packed binary format.
 func ReadBinary(r io.Reader) (*TestSet, error) {
 	br := bufio.NewReader(r)
@@ -97,9 +115,19 @@ func ReadBinary(r io.Reader) (*TestSet, error) {
 	if width == 0 || width > 1<<24 || patterns > 1<<28 {
 		return nil, fmt.Errorf("testset: implausible binary dimensions %dx%d", width, patterns)
 	}
-	total := int(width) * int(patterns)
-	payload := make([]byte, (2*total+7)/8)
-	if _, err := io.ReadFull(br, payload); err != nil {
+	// The dimension caps bound width and patterns individually; their
+	// product must be bounded too — in 64-bit arithmetic, so it neither
+	// overflows a 32-bit int nor compiles the cap constant out of range
+	// — and the payload read in chunks, so a hostile header can neither
+	// drive a terabyte allocation nor cost more than one chunk of
+	// memory before the stream runs dry.
+	total64 := int64(width) * int64(patterns)
+	if total64 > 1<<31-1 {
+		return nil, fmt.Errorf("testset: implausible binary size %d trits", total64)
+	}
+	total := int(total64)
+	payload, err := readSized(br, (2*total+7)/8)
+	if err != nil {
 		return nil, err
 	}
 	ts := New(int(width))

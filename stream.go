@@ -233,6 +233,7 @@ type StreamReader struct {
 
 	cur    *TestSet // decoded chunk being drained by Next
 	curPos int
+	chunks int // chunk frames successfully decoded so far
 	done   bool
 }
 
@@ -263,8 +264,15 @@ func (sr *StreamReader) ChunkPatterns() int { return sr.cr.Header().ChunkPattern
 // NextChunk has returned io.EOF.
 func (sr *StreamReader) TotalPatterns() int { return sr.cr.TotalPatterns() }
 
+// ChunkIndex returns the zero-based index of the chunk frame NextChunk
+// will read next. After NextChunk or Next returns a non-EOF error, it
+// names the frame that failed to parse or decode — cmd/tdecompress uses
+// it to point at the corruption instead of dumping an error chain.
+func (sr *StreamReader) ChunkIndex() int { return sr.chunks }
+
 // NextChunk decodes and returns the next chunk as a fully specified test
 // set, or io.EOF after the final chunk (with the trailer validated).
+// Non-EOF errors name the failing chunk index.
 func (sr *StreamReader) NextChunk() (*TestSet, error) {
 	if sr.done {
 		return nil, io.EOF
@@ -275,7 +283,7 @@ func (sr *StreamReader) NextChunk() (*TestSet, error) {
 		return nil, io.EOF
 	}
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("tcomp: chunk %d: %w", sr.chunks, err)
 	}
 	hdr := sr.cr.Header()
 	art := &Artifact{
@@ -291,12 +299,13 @@ func (sr *StreamReader) NextChunk() (*TestSet, error) {
 	}
 	ts, err := sr.codec.Decompress(art)
 	if err != nil {
-		return nil, fmt.Errorf("tcomp: chunk decode: %w", err)
+		return nil, fmt.Errorf("tcomp: chunk %d: decode: %w", sr.chunks, err)
 	}
 	if ts.Width != hdr.Width || ts.NumPatterns() != c.Patterns {
-		return nil, fmt.Errorf("tcomp: chunk decoded to %dx%d, want %dx%d",
-			ts.NumPatterns(), ts.Width, c.Patterns, hdr.Width)
+		return nil, fmt.Errorf("tcomp: chunk %d: decoded to %dx%d, want %dx%d",
+			sr.chunks, ts.NumPatterns(), ts.Width, c.Patterns, hdr.Width)
 	}
+	sr.chunks++
 	return ts, nil
 }
 
