@@ -125,6 +125,12 @@ func Decompress(a *Artifact) (*TestSet, error) {
 	if a == nil {
 		return nil, fmt.Errorf("tcomp: nil artifact")
 	}
+	// Containers validate dimensions on read, but an Artifact can also be
+	// constructed directly; re-checking here keeps every decode path —
+	// including hand-built artifacts — allocation-bounded and panic-free.
+	if err := container.ValidateDims(a.Width, a.Patterns); err != nil {
+		return nil, err
+	}
 	codec, err := Lookup(a.Codec)
 	if err != nil {
 		return nil, err

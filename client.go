@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -86,16 +87,117 @@ func optionValues(opts []Option) url.Values {
 	return v
 }
 
-// apiError decodes a daemon error response ({"error": "..."}).
+// Typed sentinels for the daemon's error taxonomy. Every error a Client
+// method returns for a daemon-reported failure is a *RemoteError, and
+// errors.Is maps it onto exactly one of these, so callers can branch on
+// the class ("is this my input's fault or the daemon's?") without
+// parsing messages:
+//
+//	ErrBadRequest   the request itself was malformed (HTTP 400/405:
+//	                unknown parameter, out-of-range value, bad test-set
+//	                syntax, a body that is not a container at all)
+//	ErrCorruptInput well-formed request, unprocessable input (HTTP 422:
+//	                corrupt or truncated container, uncompressible set;
+//	                also mid-stream corruption reported via trailer)
+//	ErrRemoteInternal a daemon-side bug, contained (HTTP 500; the
+//	                daemon recovered the panic and kept serving)
+//	ErrUnavailable  the daemon is draining or dropped the request while
+//	                it was queued (HTTP 503) — retry elsewhere or later
+var (
+	ErrBadRequest     = errors.New("tcomp: daemon rejected the request as malformed")
+	ErrCorruptInput   = errors.New("tcomp: daemon could not process the input")
+	ErrRemoteInternal = errors.New("tcomp: daemon internal error")
+	ErrUnavailable    = errors.New("tcomp: daemon unavailable")
+)
+
+// RemoteError is a daemon-reported failure: the HTTP status, the
+// machine-readable taxonomy code (the "code" field of the JSON error
+// body, or the X-Tcomp-Error-Code trailer for mid-stream failures —
+// empty when talking to a pre-taxonomy daemon), and the human-readable
+// message. errors.Is(err, ErrBadRequest/ErrCorruptInput/
+// ErrRemoteInternal/ErrUnavailable) classifies it.
+type RemoteError struct {
+	// Status is the HTTP status code, or 0 when the failure arrived as a
+	// trailer on an already-streaming 200 response.
+	Status int
+	// Code is the taxonomy code (e.g. "bad_request", "corrupt_container",
+	// "unprocessable", "internal_panic", "unavailable").
+	Code string
+	// Message is the daemon's human-readable error text.
+	Message string
+}
+
+func (e *RemoteError) Error() string {
+	switch {
+	case e.Status != 0 && e.Code != "":
+		return fmt.Sprintf("tcomp: daemon: %s (HTTP %d, %s)", e.Message, e.Status, e.Code)
+	case e.Status != 0:
+		return fmt.Sprintf("tcomp: daemon: %s (HTTP %d)", e.Message, e.Status)
+	case e.Code != "":
+		return fmt.Sprintf("tcomp: daemon: %s (%s)", e.Message, e.Code)
+	}
+	return "tcomp: daemon: " + e.Message
+}
+
+// Is maps the remote taxonomy onto the package sentinels. The code is
+// authoritative when present; the HTTP status covers daemons (or
+// proxies) that answer without one.
+func (e *RemoteError) Is(target error) bool {
+	switch target {
+	case ErrBadRequest:
+		return e.Code == "bad_request" || e.Code == "method_not_allowed" ||
+			(e.Code == "" && (e.Status == http.StatusBadRequest || e.Status == http.StatusMethodNotAllowed))
+	case ErrCorruptInput:
+		return e.Code == "corrupt_container" || e.Code == "unprocessable" ||
+			(e.Code == "" && e.Status == http.StatusUnprocessableEntity)
+	case ErrRemoteInternal:
+		return e.Code == "internal_panic" ||
+			(e.Code == "" && e.Status >= 500 && e.Status != http.StatusServiceUnavailable)
+	case ErrUnavailable:
+		return e.Code == "unavailable" ||
+			(e.Code == "" && e.Status == http.StatusServiceUnavailable)
+	}
+	return false
+}
+
+// apiError decodes a daemon error response — the taxonomy JSON object
+// {"code": ..., "error": ..., "status": ...} — into a *RemoteError.
+// Legacy bodies ({"error": ...} only) and non-JSON bodies still produce
+// a RemoteError, classified by HTTP status alone.
 func apiError(resp *http.Response) error {
 	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-	var e struct {
+	e := &RemoteError{Status: resp.StatusCode, Code: resp.Header.Get("X-Tcomp-Error-Code")}
+	var parsed struct {
+		Code  string `json:"code"`
 		Error string `json:"error"`
 	}
-	if json.Unmarshal(body, &e) == nil && e.Error != "" {
-		return fmt.Errorf("tcomp: daemon: %s (HTTP %d)", e.Error, resp.StatusCode)
+	if json.Unmarshal(body, &parsed) == nil && parsed.Error != "" {
+		e.Message = parsed.Error
+		if parsed.Code != "" {
+			e.Code = parsed.Code
+		}
+	} else {
+		e.Message = fmt.Sprintf("HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(body))
 	}
-	return fmt.Errorf("tcomp: daemon: HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(body))
+	return e
+}
+
+// trailerError converts a mid-stream failure reported through the
+// X-Tcomp-Error / X-Tcomp-Error-Code trailers into a *RemoteError.
+// Trailers become visible only once the body has been drained; callers
+// invoke this after their final read.
+func trailerError(resp *http.Response) error {
+	msg := resp.Trailer.Get("X-Tcomp-Error")
+	if msg == "" {
+		return nil
+	}
+	code := resp.Trailer.Get("X-Tcomp-Error-Code")
+	if code == "" {
+		// Pre-taxonomy daemons name only the message; mid-stream
+		// failures are input corruption unless stated otherwise.
+		code = "corrupt_container"
+	}
+	return &RemoteError{Code: code, Message: msg}
 }
 
 func (c *Client) do(req *http.Request) (*http.Response, error) {
@@ -134,8 +236,8 @@ func (c *Client) Compress(ctx context.Context, codecName string, patterns io.Rea
 	// A mid-stream daemon failure arrives as a trailer on an otherwise
 	// 200 response; surfacing it here is what keeps a truncated
 	// container from being reported as success.
-	if msg := resp.Trailer.Get("X-Tcomp-Error"); msg != "" {
-		return nil, fmt.Errorf("tcomp: daemon: %s", msg)
+	if err := trailerError(resp); err != nil {
+		return nil, err
 	}
 	return remoteStats(codecName, resp), nil
 }
@@ -210,10 +312,7 @@ func (c *Client) Decompress(ctx context.Context, container io.Reader, patterns i
 	if _, err := io.Copy(patterns, resp.Body); err != nil {
 		return err
 	}
-	if msg := resp.Trailer.Get("X-Tcomp-Error"); msg != "" {
-		return fmt.Errorf("tcomp: daemon: %s", msg)
-	}
-	return nil
+	return trailerError(resp)
 }
 
 // DecompressSet expands an artifact remotely into an in-memory test
@@ -274,6 +373,6 @@ func (c *Client) Health(ctx context.Context) error {
 	if err != nil {
 		return err
 	}
-	resp.Body.Close()
+	_ = resp.Body.Close()
 	return nil
 }

@@ -48,7 +48,7 @@ func main() {
 			log.Fatal(err2)
 		}
 		c, err = circuit.ParseBench(*benchPath, f)
-		f.Close()
+		_ = f.Close() // read side; the parse error is the one that matters
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -29,6 +29,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -225,6 +226,23 @@ func runStream(ctx context.Context, r io.Reader, out, method string, opts []tcom
 		method, sw.RatePercent(), sw.OriginalBits(), sw.CompressedBits(), sw.Patterns(), sw.Chunks())
 }
 
+// remoteHint appends the actionable next step implied by the daemon's
+// error class: the typed sentinels distinguish "fix your input" from
+// "retry elsewhere" from "report a daemon bug".
+func remoteHint(err error) string {
+	switch {
+	case errors.Is(err, tcomp.ErrBadRequest):
+		return fmt.Sprintf("%v (fix the request: bad parameter or test-set syntax)", err)
+	case errors.Is(err, tcomp.ErrCorruptInput):
+		return fmt.Sprintf("%v (the input could not be processed; check the test set)", err)
+	case errors.Is(err, tcomp.ErrUnavailable):
+		return fmt.Sprintf("%v (daemon draining or saturated; retry or target another instance)", err)
+	case errors.Is(err, tcomp.ErrRemoteInternal):
+		return fmt.Sprintf("%v (daemon bug, contained server-side; see the daemon log for the stack)", err)
+	}
+	return err.Error()
+}
+
 // runRemote streams the input through a tcompd daemon and writes the
 // returned chunked stream container. Diagnostics (rate, cache state) go
 // to stderr because stdout is the default container sink.
@@ -241,7 +259,7 @@ func runRemote(ctx context.Context, base string, r io.Reader, out, method string
 	c := tcomp.NewClient(base)
 	stats, err := c.Compress(ctx, method, r, w, opts...)
 	if err != nil {
-		log.Fatal(err)
+		log.Fatal(remoteHint(err))
 	}
 	cached := ""
 	if stats.CacheHit {

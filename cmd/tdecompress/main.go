@@ -129,7 +129,7 @@ func main() {
 			log.Fatal(err)
 		}
 		orig, err := testset.Read(vf)
-		vf.Close()
+		_ = vf.Close() // read side; the parse error is the one that matters
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -185,6 +185,23 @@ func streamFailureLine(chunk int, err error) string {
 	return fmt.Sprintf("stream unreadable at chunk %d: %s; re-transfer the container or recompress the source", chunk, reason)
 }
 
+// remoteHint appends the actionable next step implied by the daemon's
+// error class: the typed sentinels distinguish "fix your container"
+// from "retry elsewhere" from "report a daemon bug".
+func remoteHint(err error) string {
+	switch {
+	case errors.Is(err, tcomp.ErrBadRequest):
+		return fmt.Sprintf("%v (the body is not a tcomp container; check the input file)", err)
+	case errors.Is(err, tcomp.ErrCorruptInput):
+		return fmt.Sprintf("%v (the container is corrupt or truncated; re-transfer or re-compress it)", err)
+	case errors.Is(err, tcomp.ErrUnavailable):
+		return fmt.Sprintf("%v (daemon draining or saturated; retry or target another instance)", err)
+	case errors.Is(err, tcomp.ErrRemoteInternal):
+		return fmt.Sprintf("%v (daemon bug, contained server-side; see the daemon log for the stack)", err)
+	}
+	return err.Error()
+}
+
 // runRemote delegates expansion to a tcompd daemon, streaming the
 // container up and the textual patterns back down; -verify still runs
 // locally against the original.
@@ -205,7 +222,7 @@ func runRemote(base string, r io.Reader, out, verify string) {
 	drainRemote := func(localErr error) string {
 		pr.CloseWithError(errAborted)
 		if derr := <-done; derr != nil && !errors.Is(derr, errAborted) {
-			return derr.Error()
+			return remoteHint(derr)
 		}
 		return localErr.Error()
 	}

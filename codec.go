@@ -5,6 +5,9 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"repro/internal/container"
+	"repro/internal/runlength"
 )
 
 // Codec is the uniform interface every compression scheme implements:
@@ -173,6 +176,44 @@ type CodecParam struct {
 	Type        string `json:"type"`
 	Default     string `json:"default"`
 	Description string `json:"description"`
+	// Range bounds the values a daemon accepts for this parameter. It is
+	// filled from the shared param-range table (see ParamRange), so the
+	// advertised schema and the server-side validation can never drift
+	// apart. Nil means the full domain of Type is accepted (seed).
+	Range *ParamRange `json:"range,omitempty"`
+}
+
+// ParamRange is the inclusive bound of one daemon query parameter. The
+// package-level table behind LookupParamRange is the single source of
+// truth: GET /v1/codecs advertises these bounds and the tcompd request
+// validator enforces exactly the same ones. Codec-internal validation is
+// tied in, too — e.g. the "b" row is defined in terms of the runlength
+// package's own MinCounterWidth/MaxCounterWidth constants.
+type ParamRange struct {
+	Min int64 `json:"min"`
+	Max int64 `json:"max"`
+}
+
+// paramRanges maps daemon query keys to their accepted ranges. An
+// explicit 0 remains the "use the codec default" marker for every
+// parameter whose Min is above zero.
+var paramRanges = map[string]ParamRange{
+	"k":       {1, 64},
+	"l":       {1, 1 << 16},
+	"runs":    {1, 4096},
+	"workers": {0, 4096},
+	"m":       {1, maxGolombM},
+	"d":       {1, 1 << 16},
+	"b":       {runlength.MinCounterWidth, runlength.MaxCounterWidth},
+	"chunk":   {1, container.MaxPatterns},
+}
+
+// LookupParamRange returns the shared accepted range for a daemon query
+// parameter. ok is false for parameters without a bound (seed spans the
+// full int64 domain) and for unknown keys.
+func LookupParamRange(query string) (r ParamRange, ok bool) {
+	r, ok = paramRanges[query]
+	return r, ok
 }
 
 // CodecInfo is one entry of the registry listing served by
@@ -217,13 +258,19 @@ var codecParamSchema = map[string][]CodecParam{
 
 // CodecSchemas returns the full registry listing with per-codec
 // parameter schemas, sorted by name — the payload of GET /v1/codecs.
+// Each parameter's Range is injected from the shared param-range table,
+// so the listing always advertises exactly what the daemon enforces.
 func CodecSchemas() []CodecInfo {
 	names := Codecs()
 	infos := make([]CodecInfo, 0, len(names))
 	for _, name := range names {
-		params := codecParamSchema[name]
-		if params == nil {
-			params = []CodecParam{}
+		rows := codecParamSchema[name]
+		params := make([]CodecParam, len(rows))
+		for i, p := range rows {
+			if r, ok := LookupParamRange(p.Query); ok {
+				p.Range = &r
+			}
+			params[i] = p
 		}
 		infos = append(infos, CodecInfo{Name: name, Params: params})
 	}

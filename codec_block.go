@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"repro/internal/bitstream"
 	"repro/internal/blockcode"
 	"repro/internal/container"
 	"repro/internal/core"
@@ -60,6 +61,15 @@ func (c *blockCodec) Decompress(a *Artifact) (*TestSet, error) {
 	}
 	total := a.Width * a.Patterns
 	nblocks := (total + set.K - 1) / set.K
+	// Every block costs at least one payload bit (its codeword), so a
+	// header demanding more blocks than the payload has bits describes a
+	// decode that must run dry — reject it before allocating anything.
+	// This also bounds the decoder's memory by the attacker's actual
+	// upload rather than by two header integers.
+	if nblocks > a.NBits {
+		return nil, fmt.Errorf("tcomp: %s container declares %d blocks but ships %d payload bits: %w",
+			c.name, nblocks, a.NBits, bitstream.ErrEOS)
+	}
 	blocks, err := blockcode.Decode(a.Source(), set, code, nblocks)
 	if err != nil {
 		return nil, err

@@ -151,8 +151,9 @@ func (rlCodec) Decompress(a *Artifact) (*TestSet, error) {
 		return nil, fmt.Errorf("tcomp: rl params are %d bytes, want 1", len(a.Params))
 	}
 	b := int(a.Params[0])
-	if b < 1 || b > 30 {
-		return nil, fmt.Errorf("tcomp: rl counter width %d out of range [1,30]", b)
+	if b < runlength.MinCounterWidth || b > runlength.MaxCounterWidth {
+		return nil, fmt.Errorf("tcomp: rl counter width %d out of range [%d,%d]",
+			b, runlength.MinCounterWidth, runlength.MaxCounterWidth)
 	}
 	flat, err := runlength.Decompress(a.Source(), b, a.Width*a.Patterns)
 	if err != nil {

@@ -19,11 +19,13 @@ import (
 // refilling readers wrap it; test with errors.Is(err, ErrEOS).
 var ErrEOS = errors.New("bitstream: end of stream")
 
-// ErrBitCount is returned (wrapped) by the checked APIs when a bit count
-// lies outside [0,64]. The legacy WriteBits/ReadBits panic instead, which
-// is appropriate for programmer error but not for counts derived from
-// hostile input — streaming paths use TryWriteBits / StreamReader, which
-// return this error.
+// ErrBitCount is returned (wrapped) when a bit count lies outside [0,64],
+// or when a reader is constructed over a buffer too small for its declared
+// bit count. Both the in-memory Reader and the StreamReader return it —
+// no read path in this package panics, so counts derived from hostile
+// container headers surface as checked errors. The only remaining panic
+// is Writer.WriteBits, whose bit counts are always produced by encoders,
+// never parsed from input (use TryWriteBits for untrusted counts).
 var ErrBitCount = errors.New("bitstream: bit count out of range [0,64]")
 
 // Source is the bit-level input every decoder in the repo consumes: the
@@ -116,31 +118,50 @@ func (w *Writer) Reset() {
 	w.nbit = 0
 }
 
-// Reader consumes bits MSB-first from a byte buffer.
+// Reader consumes bits MSB-first from a byte buffer. Like the
+// StreamReader, it never panics on hostile input: a declared bit count
+// exceeding the buffer, or a read past the end, surfaces as an error
+// wrapping ErrBitCount / ErrEOS.
 type Reader struct {
 	buf  []byte
-	nbit int // total valid bits
-	pos  int // next bit to read
+	nbit int   // total valid bits
+	pos  int   // next bit to read
+	err  error // sticky construction error (declared bits exceed buffer)
 }
 
 // NewReader returns a Reader over buf exposing nbit valid bits. If nbit is
-// negative, all of buf (len*8 bits) is exposed.
+// negative, all of buf (len*8 bits) is exposed. If nbit exceeds the
+// buffer — a corrupt container header declaring more payload bits than it
+// shipped — the reader is still returned, but every read fails with an
+// error wrapping ErrBitCount, so decode paths report corruption instead
+// of panicking.
 func NewReader(buf []byte, nbit int) *Reader {
 	if nbit < 0 {
 		nbit = len(buf) * 8
 	}
+	r := &Reader{buf: buf, nbit: nbit}
 	if nbit > len(buf)*8 {
-		panic("bitstream: nbit exceeds buffer")
+		r.nbit = 0
+		r.err = fmt.Errorf("bitstream: declared %d bits but buffer holds only %d: %w",
+			nbit, len(buf)*8, ErrBitCount)
 	}
-	return &Reader{buf: buf, nbit: nbit}
+	return r
 }
 
 // FromWriter returns a Reader over the bits accumulated in w.
 func FromWriter(w *Writer) *Reader { return NewReader(w.Bytes(), w.Len()) }
 
-// ReadBit returns the next bit.
+// Err returns the sticky construction error, if any.
+func (r *Reader) Err() error { return r.err }
+
+// ReadBit returns the next bit. At end of stream the error is ErrEOS; a
+// reader constructed with an oversized bit count returns its sticky
+// construction error instead.
 func (r *Reader) ReadBit() (uint, error) {
 	if r.pos >= r.nbit {
+		if r.err != nil {
+			return 0, r.err
+		}
 		return 0, ErrEOS
 	}
 	b := uint(r.buf[r.pos>>3] >> uint(7-r.pos&7) & 1)
@@ -149,12 +170,17 @@ func (r *Reader) ReadBit() (uint, error) {
 }
 
 // ReadBits reads n bits MSB-first into the low bits of the result. It
-// gathers whole bytes rather than looping per bit.
+// gathers whole bytes rather than looping per bit. A count outside
+// [0,64] returns an error wrapping ErrBitCount (the count may derive from
+// a hostile container parameter); reading past the end returns ErrEOS.
 func (r *Reader) ReadBits(n int) (uint64, error) {
 	if n < 0 || n > 64 {
-		panic(fmt.Sprintf("bitstream: ReadBits n=%d", n))
+		return 0, fmt.Errorf("bitstream: ReadBits n=%d: %w", n, ErrBitCount)
 	}
 	if r.pos+n > r.nbit {
+		if r.err != nil {
+			return 0, r.err
+		}
 		return 0, ErrEOS
 	}
 	if n == 0 {

@@ -1,6 +1,7 @@
 package bitstream
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -84,8 +85,37 @@ func TestPanics(t *testing.T) {
 	}
 	mustPanic(func() { NewWriter().WriteBits(0, 65) })
 	mustPanic(func() { NewWriter().WriteBits(0, -1) })
-	mustPanic(func() { NewReader(nil, 1) })
-	mustPanic(func() { NewReader(nil, 0).ReadBits(65) })
+}
+
+// TestReaderCheckedErrors pins the checked read API: the conditions that
+// used to panic (a declared bit count exceeding the buffer, an absurd
+// ReadBits count) now surface as errors wrapping ErrBitCount, so decode
+// paths fed hostile containers report corruption instead of crashing.
+func TestReaderCheckedErrors(t *testing.T) {
+	r := NewReader(nil, 1) // declared 1 bit over an empty buffer
+	if r.Err() == nil || !errors.Is(r.Err(), ErrBitCount) {
+		t.Fatalf("Err()=%v, want ErrBitCount", r.Err())
+	}
+	if _, err := r.ReadBit(); !errors.Is(err, ErrBitCount) {
+		t.Fatalf("ReadBit err=%v, want ErrBitCount", err)
+	}
+	if _, err := r.ReadBits(1); !errors.Is(err, ErrBitCount) {
+		t.Fatalf("ReadBits err=%v, want ErrBitCount", err)
+	}
+	if _, err := NewReader(nil, 0).ReadBits(65); !errors.Is(err, ErrBitCount) {
+		t.Fatal("ReadBits(65) must wrap ErrBitCount")
+	}
+	if _, err := NewReader(nil, 0).ReadBits(-1); !errors.Is(err, ErrBitCount) {
+		t.Fatal("ReadBits(-1) must wrap ErrBitCount")
+	}
+	// A consistent reader still ends with plain ErrEOS.
+	ok := NewReader([]byte{0xAA}, 8)
+	if _, err := ok.ReadBits(8); err != nil {
+		t.Fatalf("consistent read: %v", err)
+	}
+	if _, err := ok.ReadBit(); !errors.Is(err, ErrEOS) {
+		t.Fatalf("want ErrEOS at end, got %v", err)
+	}
 }
 
 func TestQuickRoundTrip(t *testing.T) {

@@ -252,11 +252,19 @@ func Encode(blocks []tritvec.Vector, res *Result) (*bitstream.Writer, error) {
 // block consists of the MV's specified bits with the transmitted fill
 // bits at its U positions. Truncation errors wrap bitstream.ErrEOS.
 func Decode(r bitstream.Source, set *MVSet, code *huffman.Code, nblocks int) ([]tritvec.Vector, error) {
+	if nblocks < 0 {
+		return nil, fmt.Errorf("blockcode: negative block count %d", nblocks)
+	}
 	dec, err := huffman.NewDecoder(code)
 	if err != nil {
 		return nil, err
 	}
-	out := make([]tritvec.Vector, 0, nblocks)
+	// Capacity is bounded, not trusted: nblocks derives from a container
+	// header, and a hostile K=1 × MaxTotalBits header implies 2^30 block
+	// slots (~56 GiB of Vector headers) before a single payload bit is
+	// read. Growth past the cap is paid for by actual input — every
+	// decoded block consumes at least one source bit first.
+	out := make([]tritvec.Vector, 0, min(nblocks, 1<<16))
 	for b := 0; b < nblocks; b++ {
 		sym, err := dec.Decode(r.ReadBit)
 		if err != nil {

@@ -206,6 +206,9 @@ func readV1Body(r io.Reader) (*File, error) {
 	if f.Patterns > MaxPatterns {
 		return nil, fmt.Errorf("container: pattern count %d exceeds %d", f.Patterns, MaxPatterns)
 	}
+	if err := ValidateDims(f.Width, f.Patterns); err != nil {
+		return nil, err
+	}
 	set, code, err := readBlockTables(r, f.K, int(nMVs))
 	if err != nil {
 		return nil, err

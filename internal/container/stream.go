@@ -96,6 +96,9 @@ func (c *Chunk) validate(h *StreamHeader) error {
 	if c.Patterns < 1 || c.Patterns > h.ChunkPatterns {
 		return fmt.Errorf("container: chunk has %d patterns, want 1..%d", c.Patterns, h.ChunkPatterns)
 	}
+	if err := ValidateDims(h.Width, c.Patterns); err != nil {
+		return err
+	}
 	if len(c.Params) > MaxParamBytes {
 		return fmt.Errorf("container: chunk parameter blob %d bytes exceeds %d", len(c.Params), MaxParamBytes)
 	}

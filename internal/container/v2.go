@@ -45,6 +45,12 @@ const (
 	MaxParamBytes = 1 << 24
 	// MaxPayloadBits bounds the encoded payload (128 MiB).
 	MaxPayloadBits = 1 << 30
+	// MaxTotalBits bounds the decoded size Width·Patterns. Width and
+	// Patterns are individually capped, but their product is what a
+	// decoder allocates: without this cap a 30-byte header declaring
+	// 2^24×2^24 would drive a terabyte-scale allocation and take the
+	// process down before a single payload bit is read.
+	MaxTotalBits = 1 << 30
 )
 
 // Container is a parsed universal container: a codec name, the test-set
@@ -70,6 +76,24 @@ func (c *Container) Reader() *bitstream.Reader {
 // TotalBits returns Width·Patterns, the uncompressed size.
 func (c *Container) TotalBits() int { return c.Width * c.Patterns }
 
+// ValidateDims checks that a (width, patterns) pair is individually in
+// range and that its product — the bit count every decoder allocates for
+// — stays under MaxTotalBits. The product is computed in 64-bit so a
+// hostile header cannot overflow the check itself.
+func ValidateDims(width, patterns int) error {
+	if width < 1 || width > MaxWidth {
+		return fmt.Errorf("container: width %d out of range [1,%d]", width, MaxWidth)
+	}
+	if patterns < 0 || patterns > MaxPatterns {
+		return fmt.Errorf("container: pattern count %d out of range [0,%d]", patterns, MaxPatterns)
+	}
+	if total := int64(width) * int64(patterns); total > MaxTotalBits {
+		return fmt.Errorf("container: decoded size %d bits (width %d × patterns %d) exceeds %d",
+			total, width, patterns, MaxTotalBits)
+	}
+	return nil
+}
+
 func validateCodecName(name string) error {
 	if len(name) == 0 || len(name) > MaxCodecName {
 		return fmt.Errorf("container: codec name length %d out of range [1,%d]", len(name), MaxCodecName)
@@ -94,6 +118,9 @@ func (c *Container) validate() error {
 	}
 	if c.Patterns < 0 || c.Patterns > MaxPatterns {
 		return fmt.Errorf("container: pattern count %d out of range [0,%d]", c.Patterns, MaxPatterns)
+	}
+	if err := ValidateDims(c.Width, c.Patterns); err != nil {
+		return err
 	}
 	if len(c.Params) > MaxParamBytes {
 		return fmt.Errorf("container: parameter blob %d bytes exceeds %d", len(c.Params), MaxParamBytes)
@@ -220,6 +247,9 @@ func readV2Body(r io.Reader) (*Container, error) {
 	}
 	if c.Patterns > MaxPatterns {
 		return nil, fmt.Errorf("container: pattern count %d exceeds %d", c.Patterns, MaxPatterns)
+	}
+	if err := ValidateDims(c.Width, c.Patterns); err != nil {
+		return nil, err
 	}
 	if paramLen > MaxParamBytes {
 		return nil, fmt.Errorf("container: parameter blob %d bytes exceeds %d", paramLen, MaxParamBytes)

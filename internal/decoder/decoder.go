@@ -58,7 +58,12 @@ type Stats struct {
 // errors wrap bitstream.ErrEOS.
 func (f *FSM) Run(r bitstream.Source, nblocks int) ([]tritvec.Vector, Stats, error) {
 	var st Stats
-	out := make([]tritvec.Vector, 0, nblocks)
+	if nblocks < 0 {
+		return nil, st, fmt.Errorf("decoder: negative block count %d", nblocks)
+	}
+	// Bounded capacity: nblocks can derive from a hostile header (see
+	// blockcode.Decode); growth past the cap costs real input bits.
+	out := make([]tritvec.Vector, 0, min(nblocks, 1<<16))
 	// The FSM counts consumed bits itself (the hardware has no notion of
 	// buffer position), so any Source works.
 	readBit := func() (uint, error) {
@@ -72,6 +77,9 @@ func (f *FSM) Run(r bitstream.Source, nblocks int) ([]tritvec.Vector, Stats, err
 		sym, err := f.trie.Decode(readBit)
 		if err != nil {
 			return nil, st, fmt.Errorf("decoder: block %d: %w", b, err)
+		}
+		if sym < 0 || sym >= len(f.set.MVs) {
+			return nil, st, fmt.Errorf("decoder: block %d decoded invalid MV index %d", b, sym)
 		}
 		blk := f.set.MVs[sym].Clone()
 		for _, pos := range f.uPos[sym] {

@@ -80,6 +80,9 @@ func Compress(ts *testset.TestSet) (*Result, error) {
 // codeword boundary means the remaining bits are implied zeros; end of
 // stream inside a codeword is an error wrapping bitstream.ErrEOS.
 func Decompress(r bitstream.Source, totalBits int) (tritvec.Vector, error) {
+	if totalBits < 0 {
+		return tritvec.Vector{}, fmt.Errorf("fdr: negative output size %d", totalBits)
+	}
 	out := tritvec.New(totalBits)
 	pos := 0
 	for pos < totalBits {

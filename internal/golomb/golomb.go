@@ -116,6 +116,12 @@ func CompressBest(ts *testset.TestSet) (*Result, error) {
 // codeword boundary means the remaining bits are implied zeros; end of
 // stream inside a codeword is an error wrapping bitstream.ErrEOS.
 func Decompress(r bitstream.Source, m, totalBits int) (tritvec.Vector, error) {
+	if m < 1 {
+		return tritvec.Vector{}, fmt.Errorf("golomb: M must be >= 1, got %d", m)
+	}
+	if totalBits < 0 {
+		return tritvec.Vector{}, fmt.Errorf("golomb: negative output size %d", totalBits)
+	}
 	out := tritvec.New(totalBits)
 	pos := 0
 	for pos < totalBits {

@@ -130,7 +130,9 @@ func (o *Ordered[T]) Submit(name string, run func(ctx context.Context, seed int6
 			s.res.Err = err
 			return
 		}
-		s.res.Value, s.res.Err = run(o.ctx, s.res.Seed)
+		// safeRun contains job panics so one poisoned chunk surfaces as
+		// this slot's error instead of killing the whole process.
+		s.res.Value, s.res.Err = safeRun(func() (T, error) { return run(o.ctx, s.res.Seed) })
 	}()
 	return nil
 }

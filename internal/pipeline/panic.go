@@ -1,0 +1,45 @@
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+)
+
+// ErrPanic marks job results whose Run panicked. The engine recovers the
+// panic on the worker goroutine and converts it into a job error (a
+// *PanicError wrapping this sentinel), so a bug in one job — a codec fed
+// a pathological input, an index error in a fitness function — degrades
+// that one job instead of terminating the process for every concurrent
+// request. Test with errors.Is(err, ErrPanic); retrieve the panic value
+// and stack with errors.As into a *PanicError.
+var ErrPanic = errors.New("pipeline: job panicked")
+
+// PanicError carries a recovered job panic: the panic value and the
+// worker goroutine's stack at the point of the panic. It wraps ErrPanic.
+type PanicError struct {
+	// Value is the value passed to panic().
+	Value any
+	// Stack is the formatted stack trace captured by the recovering
+	// worker (debug.Stack output).
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("pipeline: job panicked: %v", e.Value)
+}
+
+// Unwrap makes errors.Is(err, ErrPanic) true.
+func (e *PanicError) Unwrap() error { return ErrPanic }
+
+// safeRun invokes run, converting a panic into a *PanicError. The
+// returned value is run's result when it returns normally and the zero
+// value when it panicked.
+func safeRun[T any](run func() (T, error)) (val T, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = &PanicError{Value: p, Stack: debug.Stack()}
+		}
+	}()
+	return run()
+}

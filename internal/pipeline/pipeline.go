@@ -252,7 +252,10 @@ func Stream[T any](ctx context.Context, cfg Config, jobs []Job[T]) <-chan Result
 			} else if cfg.FailFast && failed.Load() {
 				res.Err = ErrAborted
 			} else {
-				res.Value, res.Err = jobs[i].Run(ctx, res.Seed)
+				// safeRun contains job panics: a panicking Run becomes a
+				// *PanicError on this result instead of tearing down the
+				// process hosting every other request.
+				res.Value, res.Err = safeRun(func() (T, error) { return jobs[i].Run(ctx, res.Seed) })
 				if res.Err != nil {
 					failed.Store(true)
 				}
@@ -309,7 +312,10 @@ func Values[T any](results []Result[T]) []T {
 // which makes the aggregate effect independent of the worker count.
 // workers <= 0 selects runtime.GOMAXPROCS(0) and is clamped to n. When
 // ctx is cancelled, remaining indices are skipped and ctx.Err() is
-// returned; fn calls already in flight complete.
+// returned; fn calls already in flight complete. A panicking fn is
+// recovered on its worker goroutine: remaining indices still run, and
+// the first panic is returned as a *PanicError (wrapping ErrPanic)
+// instead of crashing the process.
 func ForEach(ctx context.Context, lim *Limiter, n, workers int, fn func(i int)) error {
 	if n <= 0 {
 		return ctx.Err()
@@ -323,10 +329,20 @@ func ForEach(ctx context.Context, lim *Limiter, n, workers int, fn func(i int)) 
 	if lim == nil {
 		lim = Default()
 	}
+	var panicked atomic.Pointer[PanicError]
 	runIndexed(lim, n, workers, func(i int) {
-		if ctx.Err() == nil {
-			fn(i)
+		if ctx.Err() != nil {
+			return
+		}
+		if _, err := safeRun(func() (struct{}, error) { fn(i); return struct{}{}, nil }); err != nil {
+			var pe *PanicError
+			if errors.As(err, &pe) {
+				panicked.CompareAndSwap(nil, pe)
+			}
 		}
 	})
+	if pe := panicked.Load(); pe != nil {
+		return pe
+	}
 	return ctx.Err()
 }

@@ -54,9 +54,19 @@ func (r *Result) RatePercent() float64 {
 	return 100 * float64(r.OriginalBits-r.CompressedBits) / float64(r.OriginalBits)
 }
 
+// MinCounterWidth and MaxCounterWidth bound the run counter width b.
+// They are the single source of truth for the parameter's range: the
+// Compress/Decompress validation here, the container parameter check in
+// the public codec, and the range advertised by a tcompd daemon's
+// GET /v1/codecs all derive from these constants.
+const (
+	MinCounterWidth = 1
+	MaxCounterWidth = 30
+)
+
 // Compress encodes ts with b-bit run counters.
 func Compress(ts *testset.TestSet, b int) (*Result, error) {
-	if b < 1 || b > 30 {
+	if b < MinCounterWidth || b > MaxCounterWidth {
 		return nil, fmt.Errorf("runlength: counter width %d out of range", b)
 	}
 	flat := ZeroFill(ts)
@@ -89,8 +99,11 @@ func Compress(ts *testset.TestSet, b int) (*Result, error) {
 // before totalBits (including a final partial counter, which carries no
 // information) implies the rest is zeros.
 func Decompress(r bitstream.Source, b, totalBits int) (tritvec.Vector, error) {
-	if b < 1 || b > 30 {
+	if b < MinCounterWidth || b > MaxCounterWidth {
 		return tritvec.Vector{}, fmt.Errorf("runlength: counter width %d out of range", b)
+	}
+	if totalBits < 0 {
+		return tritvec.Vector{}, fmt.Errorf("runlength: negative output size %d", totalBits)
 	}
 	out := tritvec.New(totalBits)
 	max := uint64(1<<uint(b)) - 1

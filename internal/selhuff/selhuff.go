@@ -117,6 +117,16 @@ func Compress(ts *testset.TestSet, k, d int) (*Result, error) {
 // It accepts any bit source — the in-memory reader or the io.Reader-fed
 // streaming one.
 func Decompress(r bitstream.Source, res *Result, totalBits int) (tritvec.Vector, error) {
+	if res.K < 1 || res.K > 62 {
+		return tritvec.Vector{}, fmt.Errorf("selhuff: block size %d out of range", res.K)
+	}
+	if totalBits < 0 {
+		return tritvec.Vector{}, fmt.Errorf("selhuff: negative output size %d", totalBits)
+	}
+	if len(res.Dictionary) < len(res.Code.Lengths) {
+		return tritvec.Vector{}, fmt.Errorf("selhuff: code has %d symbols for %d dictionary words",
+			len(res.Code.Lengths), len(res.Dictionary))
+	}
 	dec, err := huffman.NewDecoder(res.Code)
 	if err != nil {
 		return tritvec.Vector{}, err

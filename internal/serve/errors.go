@@ -1,0 +1,119 @@
+// Error taxonomy of the tcompd HTTP API. Every non-2xx answer carries a
+// machine-readable JSON body
+//
+//	{"code": "<taxonomy code>", "error": "<human message>", "status": <http status>}
+//
+// and an X-Tcomp-Error-Code header. Failures discovered after the
+// response body has started streaming cannot change the status line any
+// more; they travel as the X-Tcomp-Error / X-Tcomp-Error-Code trailers
+// instead, with the same code vocabulary. tcomp.Client folds both
+// channels into typed sentinel errors.
+//
+// The codes and their statuses:
+//
+//	bad_request        400  malformed request: unknown/out-of-range query
+//	                        parameter, bad test-set syntax, a body that is
+//	                        not a tcomp container at all
+//	method_not_allowed 405  wrong HTTP method for the endpoint
+//	corrupt_container  422  the body parses as a tcomp container but is
+//	                        corrupt or truncated (bad CRC, payload shorter
+//	                        than declared, hostile dimensions, undecodable
+//	                        bitstream)
+//	unprocessable      422  well-formed input the codec cannot process
+//	                        (e.g. a block covering that fails)
+//	internal_panic     500  a bug reached a panic; the panic was contained
+//	                        (one request degraded, the daemon lives) and
+//	                        counted in the panics metric
+//	unavailable        503  draining, or the request was cancelled while
+//	                        queued for a worker
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+
+	"repro/internal/pipeline"
+)
+
+// Taxonomy codes. Keep in sync with the package comment above and the
+// README's serving section.
+const (
+	CodeBadRequest       = "bad_request"
+	CodeMethodNotAllowed = "method_not_allowed"
+	CodeCorruptContainer = "corrupt_container"
+	CodeUnprocessable    = "unprocessable"
+	CodeInternalPanic    = "internal_panic"
+	CodeUnavailable      = "unavailable"
+)
+
+// statusOf maps a taxonomy code to its HTTP status.
+func statusOf(code string) int {
+	switch code {
+	case CodeBadRequest:
+		return http.StatusBadRequest
+	case CodeMethodNotAllowed:
+		return http.StatusMethodNotAllowed
+	case CodeCorruptContainer, CodeUnprocessable:
+		return http.StatusUnprocessableEntity
+	case CodeUnavailable:
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// ErrorBody is the JSON error object of every non-2xx answer.
+type ErrorBody struct {
+	Code   string `json:"code"`
+	Error  string `json:"error"`
+	Status int    `json:"status"`
+}
+
+// writeError answers with the taxonomy's JSON error object. It must only
+// be called before any body bytes have been written.
+func writeError(w http.ResponseWriter, code string, format string, args ...any) {
+	status := statusOf(code)
+	h := w.Header()
+	h.Set("Content-Type", "application/json; charset=utf-8")
+	h.Set("X-Tcomp-Error-Code", code)
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(ErrorBody{
+		Code:   code,
+		Error:  fmt.Sprintf(format, args...),
+		Status: status,
+	}); err != nil {
+		log.Printf("serve: writing error body: %v", err)
+	}
+}
+
+// compressErrorCode classifies a failure of the compression path: a
+// panic contained by the pipeline engine (surfacing as a job error that
+// wraps pipeline.ErrPanic) is an internal bug, everything else is input
+// the codec could not process.
+func compressErrorCode(err error) string {
+	if errors.Is(err, pipeline.ErrPanic) {
+		return CodeInternalPanic
+	}
+	return CodeUnprocessable
+}
+
+// decodeErrorCode classifies a failure of the decompression path: a
+// contained panic is internal, everything else means the container was
+// corrupt or truncated.
+func decodeErrorCode(err error) string {
+	if errors.Is(err, pipeline.ErrPanic) {
+		return CodeInternalPanic
+	}
+	return CodeCorruptContainer
+}
+
+// trailerError records a failure discovered after body bytes have been
+// streamed: the status line is gone, so the code and message travel as
+// trailers (declared by the streaming handlers up front).
+func trailerError(h http.Header, code string, err error) {
+	h.Set("X-Tcomp-Error", err.Error())
+	h.Set("X-Tcomp-Error-Code", code)
+}

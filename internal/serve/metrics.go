@@ -32,6 +32,10 @@ type Metrics struct {
 	CacheMisses *expvar.Int
 	// Errors counts requests that ended in a non-2xx status.
 	Errors *expvar.Int
+	// Panics counts panics contained by the request middleware — each is
+	// a bug that degraded one request instead of killing the daemon.
+	// Alert on this: it should stay at zero.
+	Panics *expvar.Int
 
 	mu    sync.Mutex
 	rates map[string]*RateHistogram // per-codec compression-rate histograms
@@ -49,6 +53,7 @@ func newMetrics() *Metrics {
 		CacheHits:   new(expvar.Int),
 		CacheMisses: new(expvar.Int),
 		Errors:      new(expvar.Int),
+		Panics:      new(expvar.Int),
 		rates:       map[string]*RateHistogram{},
 		rmap:        new(expvar.Map).Init(),
 	}
@@ -62,6 +67,7 @@ func newMetrics() *Metrics {
 	m.root.Set("cache_hits", m.CacheHits)
 	m.root.Set("cache_misses", m.CacheMisses)
 	m.root.Set("errors", m.Errors)
+	m.root.Set("panics", m.Panics)
 	m.root.Set("compression_rate", m.rmap)
 	return m
 }
@@ -102,7 +108,7 @@ func (m *Metrics) String() string { return m.root.String() }
 // ServeHTTP implements GET /metrics.
 func (m *Metrics) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		httpError(w, http.StatusMethodNotAllowed, "use GET")
+		writeError(w, CodeMethodNotAllowed, "use GET")
 		return
 	}
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")

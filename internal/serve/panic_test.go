@@ -1,0 +1,344 @@
+package serve
+
+// Crash containment, daemon level: a codec that panics — on the request
+// goroutine (buffered path, Decompress) or on a pipeline worker
+// goroutine (streaming path) — must degrade that one request to a
+// taxonomy error while the daemon keeps serving everyone else. This is
+// the test the tentpole hangs on: before the containment work, any of
+// these panics killed the process for every connected client.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	tcomp "repro"
+	"repro/internal/testset"
+)
+
+// boomCodec panics in every method that processes input — the stand-in
+// for an undiscovered bug in a real codec.
+type boomCodec struct{}
+
+func (boomCodec) Name() string { return "boom" }
+
+func (boomCodec) Compress(ctx context.Context, ts *tcomp.TestSet, opts ...tcomp.Option) (*tcomp.Artifact, error) {
+	panic("boom: compress bug")
+}
+
+func (boomCodec) Decompress(a *tcomp.Artifact) (*tcomp.TestSet, error) {
+	panic("boom: decompress bug")
+}
+
+func init() { tcomp.Register(boomCodec{}) }
+
+// silenceLogs suppresses the contained-panic stack traces the
+// middleware logs, which would otherwise drown the test output.
+func silenceLogs(t *testing.T) {
+	t.Helper()
+	old := log.Writer()
+	log.SetOutput(io.Discard)
+	t.Cleanup(func() { log.SetOutput(old) })
+}
+
+func postBody(t *testing.T, h http.Handler, url, body string) *http.Response {
+	t.Helper()
+	req := httptest.NewRequest("POST", url, strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec.Result()
+}
+
+func decodeErrorBody(t *testing.T, resp *http.Response) ErrorBody {
+	t.Helper()
+	var e ErrorBody
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		t.Fatalf("error body does not parse: %v", err)
+	}
+	return e
+}
+
+// TestPanicContainmentBuffered: a buffered (v2) compress against the
+// panicking codec answers 500 internal_panic; the daemon then still
+// serves a real request, and the panic counter recorded the event.
+func TestPanicContainmentBuffered(t *testing.T) {
+	silenceLogs(t)
+	s := New(Config{Workers: 2})
+	h := s.Handler()
+
+	resp := postBody(t, h, "/v1/compress?codec=boom&format=v2", "4 1\n0101\n")
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status %d, want 500", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Tcomp-Error-Code"); got != CodeInternalPanic {
+		t.Fatalf("X-Tcomp-Error-Code %q, want %q", got, CodeInternalPanic)
+	}
+	e := decodeErrorBody(t, resp)
+	if e.Code != CodeInternalPanic || e.Status != 500 {
+		t.Fatalf("error body %+v, want code %q status 500", e, CodeInternalPanic)
+	}
+	if got := s.Metrics().Panics.Value(); got < 1 {
+		t.Fatalf("panics counter %d, want >= 1", got)
+	}
+
+	// The daemon lives: a well-formed request still succeeds.
+	resp = postBody(t, h, "/v1/compress?codec=golomb&format=v2", "4 2\n0101\n1X0X\n")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("follow-up request status %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestPanicContainmentStreaming: on the streaming (v3) path the codec
+// runs on pipeline worker goroutines; the recovered panic surfaces as
+// an internal_panic trailer on the truncated stream.
+func TestPanicContainmentStreaming(t *testing.T) {
+	silenceLogs(t)
+	s := New(Config{Workers: 2})
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+
+	resp, err := http.Post(hs.URL+"/v1/compress?codec=boom", "text/plain", strings.NewReader("4 1\n0101\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode == http.StatusOK {
+		// Accepted before the first chunk panicked: the body must be a
+		// truncated stream flagged by the internal_panic trailer.
+		if code := resp.Trailer.Get("X-Tcomp-Error-Code"); code != CodeInternalPanic {
+			t.Fatalf("trailer code %q (X-Tcomp-Error %q), want %q",
+				code, resp.Trailer.Get("X-Tcomp-Error"), CodeInternalPanic)
+		}
+		if _, err := tcomp.NewStreamReader(bytes.NewReader(body)); err == nil {
+			sr, _ := tcomp.NewStreamReader(bytes.NewReader(body))
+			if _, err := sr.ReadAll(); err == nil {
+				t.Fatal("panicked stream decoded cleanly; it must be visibly truncated")
+			}
+		}
+	} else if resp.StatusCode != http.StatusInternalServerError &&
+		resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("status %d, want 200+trailer or 500/422", resp.StatusCode)
+	}
+	if got := s.Metrics().Panics.Value() + s.Metrics().Errors.Value(); got < 1 {
+		t.Fatalf("no panic or error accounted (panics=%d errors=%d)",
+			s.Metrics().Panics.Value(), s.Metrics().Errors.Value())
+	}
+
+	// Daemon still alive for the next client.
+	ok, err := http.Post(hs.URL+"/v1/compress?codec=rl&b=4", "text/plain", strings.NewReader("4 2\n0101\n1X0X\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ok.Body.Close()
+	if ok.StatusCode != http.StatusOK {
+		t.Fatalf("follow-up request status %d, want 200", ok.StatusCode)
+	}
+}
+
+// TestPanicContainmentDecompress: a container naming the panicking
+// codec drives the panic through the decompress path; containment
+// answers 500 and keeps serving.
+func TestPanicContainmentDecompress(t *testing.T) {
+	silenceLogs(t)
+	s := New(Config{Workers: 2})
+	h := s.Handler()
+
+	// A well-formed v2 container whose codec panics on decode.
+	art := &tcomp.Artifact{Codec: "boom", Width: 4, Patterns: 1, OriginalBits: 4,
+		CompressedBits: 8, Payload: []byte{0xAB}, NBits: 8}
+	var buf bytes.Buffer
+	if err := tcomp.Write(&buf, art); err != nil {
+		t.Fatal(err)
+	}
+	resp := postBody(t, h, "/v1/decompress", buf.String())
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status %d, want 500", resp.StatusCode)
+	}
+	if e := decodeErrorBody(t, resp); e.Code != CodeInternalPanic {
+		t.Fatalf("error code %q, want %q", e.Code, CodeInternalPanic)
+	}
+	if resp2 := postBody(t, h, "/v1/codecs", ""); resp2.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("daemon dead after contained panic? /v1/codecs POST gave %d", resp2.StatusCode)
+	}
+}
+
+// TestPanicMidBufferedBodyAbortsConnection: a panic after body bytes
+// started on a handler without declared trailers cannot be reported
+// in-band (net/http drops undeclared trailers), so containment must
+// abort the connection — the client sees a transport-level truncation,
+// never a clean 200 over a short body.
+func TestPanicMidBufferedBodyAbortsConnection(t *testing.T) {
+	silenceLogs(t)
+	s := New(Config{Workers: 1})
+	h := s.instrument("/boom", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Length", "64")
+		if _, err := w.Write([]byte("partial")); err != nil {
+			t.Errorf("write: %v", err)
+		}
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
+		panic("mid-body bug")
+	})
+	hs := httptest.NewServer(h)
+	defer hs.Close()
+
+	resp, err := http.Get(hs.URL + "/boom")
+	if err == nil {
+		_, err = io.ReadAll(resp.Body)
+		resp.Body.Close()
+	}
+	if err == nil {
+		t.Fatal("client saw a clean response; a mid-body panic must surface as a truncation error")
+	}
+	if got := s.Metrics().Panics.Value(); got != 1 {
+		t.Fatalf("panics counter %d, want 1", got)
+	}
+}
+
+// TestErrorTaxonomy pins the status/code mapping of the three request
+// outcomes the issue names: 400 malformed request, 422 corrupt
+// container, plus the machine-readable JSON body shape on each.
+func TestErrorTaxonomy(t *testing.T) {
+	s := New(Config{Workers: 1})
+	h := s.Handler()
+
+	cases := []struct {
+		label      string
+		url, body  string
+		wantStatus int
+		wantCode   string
+	}{
+		{"unknown parameter", "/v1/compress?codec=golomb&bogus=1", "4 1\n0101\n", 400, CodeBadRequest},
+		{"out-of-range b", "/v1/compress?codec=rl&b=31", "4 1\n0101\n", 400, CodeBadRequest},
+		{"bad test set", "/v1/compress?codec=golomb", "not a test set", 400, CodeBadRequest},
+		{"not a container", "/v1/decompress", "garbage body", 400, CodeBadRequest},
+		{"truncated container", "/v1/decompress", "TCMP\x02", 422, CodeCorruptContainer},
+	}
+	for _, c := range cases {
+		resp := postBody(t, h, c.url, c.body)
+		if resp.StatusCode != c.wantStatus {
+			t.Errorf("%s: status %d, want %d", c.label, resp.StatusCode, c.wantStatus)
+			continue
+		}
+		e := decodeErrorBody(t, resp)
+		if e.Code != c.wantCode || e.Status != c.wantStatus || e.Error == "" {
+			t.Errorf("%s: body %+v, want code %q status %d and a message", c.label, e, c.wantCode, c.wantStatus)
+		}
+		if got := resp.Header.Get("X-Tcomp-Error-Code"); got != c.wantCode {
+			t.Errorf("%s: X-Tcomp-Error-Code %q, want %q", c.label, got, c.wantCode)
+		}
+	}
+}
+
+// TestCorruptContainerIs422 generates a real container, corrupts its
+// payload region, and requires the decompress endpoint to classify the
+// parse failure as 422 corrupt_container (a clean 400 remains reserved
+// for bodies that are not containers at all).
+func TestCorruptContainerIs422(t *testing.T) {
+	ts, err := testset.ParseStrings("01X10X10", "111000XX")
+	if err != nil {
+		t.Fatal(err)
+	}
+	codec, err := tcomp.Lookup("golomb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	art, err := codec.Compress(context.Background(), ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tcomp.Write(&buf, art); err != nil {
+		t.Fatal(err)
+	}
+	blob := buf.Bytes()
+
+	s := New(Config{Workers: 1})
+	h := s.Handler()
+	seen422 := false
+	for cut := 5; cut < len(blob); cut++ {
+		resp := postBody(t, h, "/v1/decompress", string(blob[:cut]))
+		switch resp.StatusCode {
+		case http.StatusUnprocessableEntity:
+			seen422 = true
+			if e := decodeErrorBody(t, resp); e.Code != CodeCorruptContainer {
+				t.Fatalf("truncation at %d: code %q, want %q", cut, e.Code, CodeCorruptContainer)
+			}
+		case http.StatusBadRequest, http.StatusOK:
+			// Sniff-level rejections stay 400; a truncation that still
+			// parses (trailing padding) may decode.
+		default:
+			t.Fatalf("truncation at %d: status %d", cut, resp.StatusCode)
+		}
+	}
+	if !seen422 {
+		t.Fatal("no truncation produced a 422 corrupt_container")
+	}
+}
+
+// TestSchemaMatchesValidation is the satellite regression test: for
+// every parameter the schema advertises, the daemon must accept the
+// advertised Min and Max and reject Max+1 — so the /v1/codecs listing
+// and the request validator can never drift apart again (the historical
+// instance: b advertised up to 64, rejected above 30).
+func TestSchemaMatchesValidation(t *testing.T) {
+	s := New(Config{Workers: 1})
+	h := s.Handler()
+	tried := 0
+	for _, info := range tcomp.CodecSchemas() {
+		if info.Name == "ea" || info.Name == "boom" {
+			continue // ea is too slow for a schema sweep; boom panics by design
+		}
+		for _, p := range info.Params {
+			if p.Range == nil || p.Query == "chunk" || p.Query == "m" {
+				continue // unbounded, or too slow at Max (m=2^20 search)
+			}
+			for _, v := range []int64{p.Range.Min, p.Range.Max} {
+				url := fmt.Sprintf("/v1/compress?codec=%s&%s=%d", info.Name, p.Query, v)
+				resp := postBody(t, h, url, "8 2\n01X10X10\n00001111\n")
+				// The advertised range is the syntactic contract: a value
+				// inside it must never be rejected as a malformed request
+				// (400). A codec may still refuse it semantically — 9c
+				// needs an even k, selhuff caps k at 62 — which the
+				// taxonomy reports as 422 unprocessable.
+				if resp.StatusCode == http.StatusBadRequest {
+					t.Errorf("%s %s=%d (advertised in range): status 400", info.Name, p.Query, v)
+				}
+				tried++
+			}
+			url := fmt.Sprintf("/v1/compress?codec=%s&%s=%d", info.Name, p.Query, p.Range.Max+1)
+			resp := postBody(t, h, url, "8 2\n01X10X10\n00001111\n")
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Errorf("%s %s=%d (above advertised max): status %d, want 400", info.Name, p.Query, p.Range.Max+1, resp.StatusCode)
+			}
+		}
+	}
+	if tried == 0 {
+		t.Fatal("schema sweep exercised no parameters")
+	}
+	// The historical drift, pinned explicitly: the advertised b range is
+	// the rl codec's own 1..30.
+	for _, info := range tcomp.CodecSchemas() {
+		if info.Name != "rl" {
+			continue
+		}
+		for _, p := range info.Params {
+			if p.Query == "b" {
+				if p.Range == nil || p.Range.Min != 1 || p.Range.Max != 30 {
+					t.Fatalf("rl b advertises %+v, want [1,30]", p.Range)
+				}
+				return
+			}
+		}
+	}
+	t.Fatal("rl schema has no b row")
+}

@@ -40,9 +40,11 @@ import (
 	"expvar"
 	"fmt"
 	"io"
+	"log"
 	"net/http"
 	"net/url"
 	"runtime"
+	"runtime/debug"
 	"strconv"
 	"sync/atomic"
 
@@ -135,17 +137,60 @@ func (s *Server) StartDrain() { s.draining.Store(true) }
 func (s *Server) Draining() bool { return s.draining.Load() }
 
 // instrument wraps a handler with the request counter, the in-flight
-// gauge, and error accounting.
+// gauge, error accounting, and the crash-containment boundary: a panic
+// escaping the handler (on the request goroutine — worker-goroutine
+// panics are already converted to job errors by the pipeline engine) is
+// recovered here, counted, logged with its stack, and answered as a 500
+// internal_panic. One buggy request degrades to one error response; the
+// daemon keeps serving everyone else.
 func (s *Server) instrument(path string, h http.HandlerFunc) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.metrics.InFlight.Add(1)
 		defer s.metrics.InFlight.Add(-1)
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
-		h(sw, r)
-		s.metrics.Requests.Add(path, 1)
-		if sw.code >= 400 {
-			s.metrics.Errors.Add(1)
+		account := func() {
+			s.metrics.Requests.Add(path, 1)
+			if sw.code >= 400 {
+				s.metrics.Errors.Add(1)
+			}
 		}
+		defer func() {
+			p := recover()
+			if p == nil {
+				account()
+				return
+			}
+			if p == http.ErrAbortHandler {
+				// Deliberate connection abort (client gone mid-write);
+				// net/http handles it, containment must not mask it.
+				account()
+				panic(p)
+			}
+			s.metrics.Panics.Add(1)
+			log.Printf("serve: contained panic on %s: %v\n%s", path, p, debug.Stack())
+			if !sw.wrote {
+				writeError(sw, CodeInternalPanic, "internal error (contained panic): %v", p)
+				account()
+				return
+			}
+			// Body already streaming: the status line is gone. Handlers
+			// that declared the error trailers (the streaming endpoints)
+			// get the taxonomy trailers, flushed on return. Buffered
+			// responses cannot carry undeclared trailers — net/http
+			// silently drops header mutations after WriteHeader — so the
+			// only honest signal left is a hard connection abort: the
+			// client sees a transport-level truncation instead of a
+			// clean 200 over a truncated body.
+			if sw.Header().Get("Trailer") != "" {
+				trailerError(sw.Header(), CodeInternalPanic,
+					fmt.Errorf("internal error (contained panic): %v", p))
+				account()
+				return
+			}
+			account()
+			panic(http.ErrAbortHandler)
+		}()
+		h(sw, r)
 	})
 }
 
@@ -153,12 +198,19 @@ func (s *Server) instrument(path string, h http.HandlerFunc) http.Handler {
 // passing Flush through so streamed responses are not buffered whole.
 type statusWriter struct {
 	http.ResponseWriter
-	code int
+	code  int
+	wrote bool // header or body bytes sent: status line can't change
 }
 
 func (w *statusWriter) WriteHeader(code int) {
 	w.code = code
+	w.wrote = true
 	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(p)
 }
 
 func (w *statusWriter) Flush() {
@@ -186,7 +238,7 @@ func enableFullDuplex(w http.ResponseWriter) {
 // amount is bounded by MaxBytesReader, which every handler wraps the
 // body in.
 func drainBody(r io.Reader) {
-	io.Copy(io.Discard, r)
+	_, _ = io.Copy(io.Discard, r) // best-effort: bounded by MaxBytesReader
 }
 
 // abortWriter swallows writes once aborted. The streaming compress path
@@ -208,14 +260,6 @@ func (a *abortWriter) Write(p []byte) (int, error) {
 		return len(p), nil
 	}
 	return a.w.Write(p)
-}
-
-// httpError answers with a JSON error object. It must only be called
-// before any body bytes have been written.
-func httpError(w http.ResponseWriter, code int, format string, args ...any) {
-	w.Header().Set("Content-Type", "application/json; charset=utf-8")
-	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
 // countingReader/countingWriter feed the bytes_in/bytes_out counters.
@@ -245,7 +289,7 @@ func (c *countingWriter) Write(p []byte) (int, error) {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		httpError(w, http.StatusMethodNotAllowed, "use GET")
+		writeError(w, CodeMethodNotAllowed, "use GET")
 		return
 	}
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
@@ -256,16 +300,16 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		code = http.StatusServiceUnavailable
 	}
 	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(map[string]string{"status": status})
+	_ = json.NewEncoder(w).Encode(map[string]string{"status": status}) // client gone: nothing to do
 }
 
 func (s *Server) handleCodecs(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		httpError(w, http.StatusMethodNotAllowed, "use GET")
+		writeError(w, CodeMethodNotAllowed, "use GET")
 		return
 	}
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
-	json.NewEncoder(w).Encode(tcomp.CodecSchemas())
+	_ = json.NewEncoder(w).Encode(tcomp.CodecSchemas()) // client gone: nothing to do
 }
 
 // ---- /v1/compress ----
@@ -279,25 +323,29 @@ type compressRequest struct {
 	canon     string // canonical parameter string, the query half of the cache key
 }
 
-// intParam is one accepted integer query parameter with its hostile
-// bound. Caps reject absurd values (a 2^31 MV count would drive the EA
-// into a gigantic allocation) before they reach a codec.
+// intParam is one accepted integer query parameter. Its accepted range
+// comes from the shared tcomp param-range table — the same rows the
+// GET /v1/codecs schema advertises — so validation and schema cannot
+// drift apart (the historical bug: /v1/codecs advertised b up to 64
+// while the rl codec rejects anything outside 1..30). The bounds also
+// reject absurd values (a 2^31 MV count would drive the EA into a
+// gigantic allocation) before they reach a codec. "seed" has no table
+// row: it spans the full int64 domain.
 type intParam struct {
 	key   string
-	max   int64
 	apply func(int64) tcomp.Option
 }
 
 var compressParams = []intParam{
-	{"seed", 0 /* full int64 range */, func(v int64) tcomp.Option { return tcomp.WithSeed(v) }},
-	{"k", 64, func(v int64) tcomp.Option { return tcomp.WithBlockLen(int(v)) }},
-	{"l", 1 << 16, func(v int64) tcomp.Option { return tcomp.WithMVCount(int(v)) }},
-	{"runs", 4096, func(v int64) tcomp.Option { return tcomp.WithRuns(int(v)) }},
-	{"workers", 4096, func(v int64) tcomp.Option { return tcomp.WithWorkers(int(v)) }},
-	{"m", 1 << 20, func(v int64) tcomp.Option { return tcomp.WithGolombM(int(v)) }},
-	{"d", 1 << 16, func(v int64) tcomp.Option { return tcomp.WithDictSize(int(v)) }},
-	{"b", 64, func(v int64) tcomp.Option { return tcomp.WithCounterWidth(int(v)) }},
-	{"chunk", container.MaxPatterns, func(v int64) tcomp.Option { return tcomp.WithChunkPatterns(int(v)) }},
+	{"seed", func(v int64) tcomp.Option { return tcomp.WithSeed(v) }},
+	{"k", func(v int64) tcomp.Option { return tcomp.WithBlockLen(int(v)) }},
+	{"l", func(v int64) tcomp.Option { return tcomp.WithMVCount(int(v)) }},
+	{"runs", func(v int64) tcomp.Option { return tcomp.WithRuns(int(v)) }},
+	{"workers", func(v int64) tcomp.Option { return tcomp.WithWorkers(int(v)) }},
+	{"m", func(v int64) tcomp.Option { return tcomp.WithGolombM(int(v)) }},
+	{"d", func(v int64) tcomp.Option { return tcomp.WithDictSize(int(v)) }},
+	{"b", func(v int64) tcomp.Option { return tcomp.WithCounterWidth(int(v)) }},
+	{"chunk", func(v int64) tcomp.Option { return tcomp.WithChunkPatterns(int(v)) }},
 }
 
 // parseCompressQuery validates the query string; on failure it has
@@ -310,24 +358,24 @@ func parseCompressQuery(w http.ResponseWriter, q url.Values) (*compressRequest, 
 	}
 	for key := range q {
 		if !known[key] {
-			httpError(w, http.StatusBadRequest, "unknown query parameter %q", key)
+			writeError(w, CodeBadRequest, "unknown query parameter %q", key)
 			return nil, false
 		}
 	}
 	req.codecName = q.Get("codec")
 	if req.codecName == "" {
-		httpError(w, http.StatusBadRequest, "missing codec parameter (see GET /v1/codecs)")
+		writeError(w, CodeBadRequest, "missing codec parameter (see GET /v1/codecs)")
 		return nil, false
 	}
 	codec, err := tcomp.Lookup(req.codecName)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, CodeBadRequest, "%v", err)
 		return nil, false
 	}
 	req.codec = codec
 	if f := q.Get("format"); f != "" {
 		if f != "v2" && f != "v3" {
-			httpError(w, http.StatusBadRequest, "format %q must be v2 or v3", f)
+			writeError(w, CodeBadRequest, "format %q must be v2 or v3", f)
 			return nil, false
 		}
 		req.format = f
@@ -344,11 +392,15 @@ func parseCompressQuery(w http.ResponseWriter, q url.Values) (*compressRequest, 
 		}
 		v, err := strconv.ParseInt(raw, 10, 64)
 		if err != nil {
-			httpError(w, http.StatusBadRequest, "parameter %s=%q is not an integer", p.key, raw)
+			writeError(w, CodeBadRequest, "parameter %s=%q is not an integer", p.key, raw)
 			return nil, false
 		}
-		if p.key != "seed" && (v < 0 || v > p.max) {
-			httpError(w, http.StatusBadRequest, "parameter %s=%d out of range [0,%d]", p.key, v, p.max)
+		// An explicit 0 always means "use the codec default"; any other
+		// value must fall inside the shared table's range. Every non-seed
+		// key has a table row (with Min >= 0), so this also rejects all
+		// negative values; seed alone spans the full int64 domain.
+		if r, bounded := tcomp.LookupParamRange(p.key); bounded && v != 0 && (v < r.Min || v > r.Max) {
+			writeError(w, CodeBadRequest, "parameter %s=%d out of range [%d,%d]", p.key, v, r.Min, r.Max)
 			return nil, false
 		}
 		req.opts = append(req.opts, p.apply(v))
@@ -366,10 +418,10 @@ func parseCompressQuery(w http.ResponseWriter, q url.Values) (*compressRequest, 
 // patterns hash identically.
 func (req *compressRequest) cacheKey(ts *testset.TestSet) string {
 	h := sha256.New()
-	io.WriteString(h, req.canon)
+	_, _ = io.WriteString(h, req.canon) // sha256 writes cannot fail
 	fmt.Fprintf(h, "|w=%d\n", ts.Width)
 	for _, p := range ts.Patterns {
-		io.WriteString(h, p.String())
+		_, _ = io.WriteString(h, p.String())
 		h.Write([]byte{'\n'})
 	}
 	return hex.EncodeToString(h.Sum(nil))
@@ -377,7 +429,7 @@ func (req *compressRequest) cacheKey(ts *testset.TestSet) string {
 
 func (s *Server) handleCompress(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		httpError(w, http.StatusMethodNotAllowed, "use POST")
+		writeError(w, CodeMethodNotAllowed, "use POST")
 		return
 	}
 	req, ok := parseCompressQuery(w, r.URL.Query())
@@ -388,7 +440,7 @@ func (s *Server) handleCompress(w http.ResponseWriter, r *http.Request) {
 	// Requests queue here (FIFO-ish, context-aware) when all workers are
 	// busy, so 64 concurrent clients share cfg.Workers compressions.
 	if err := s.lim.Acquire(r.Context()); err != nil {
-		httpError(w, http.StatusServiceUnavailable, "request cancelled while queued for a worker")
+		writeError(w, CodeUnavailable, "request cancelled while queued for a worker")
 		return
 	}
 	s.metrics.noteWorker(1)
@@ -407,7 +459,7 @@ func (s *Server) handleCompress(w http.ResponseWriter, r *http.Request) {
 		// cacheable regardless of submission encoding.
 		ts, err := testset.ReadBinary(br)
 		if err != nil {
-			httpError(w, http.StatusBadRequest, "bad binary test set: %v", err)
+			writeError(w, CodeBadRequest, "bad binary test set: %v", err)
 			return
 		}
 		canonical := int64(ts.NumPatterns()) * int64(ts.Width+1)
@@ -417,7 +469,7 @@ func (s *Server) handleCompress(w http.ResponseWriter, r *http.Request) {
 
 	sc, err := testset.NewScanner(br)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "bad test set: %v", err)
+		writeError(w, CodeBadRequest, "bad test set: %v", err)
 		return
 	}
 	// Cache probe: buffer patterns while the canonical input stays under
@@ -433,7 +485,7 @@ func (s *Server) handleCompress(w http.ResponseWriter, r *http.Request) {
 			break
 		}
 		if err != nil {
-			httpError(w, http.StatusBadRequest, "bad pattern %d: %v", ts.NumPatterns(), err)
+			writeError(w, CodeBadRequest, "bad pattern %d: %v", ts.NumPatterns(), err)
 			return
 		}
 		ts.Add(v)
@@ -456,7 +508,7 @@ func (s *Server) handleCompress(w http.ResponseWriter, r *http.Request) {
 				break
 			}
 			if err != nil {
-				httpError(w, http.StatusBadRequest, "bad pattern %d: %v", ts.NumPatterns(), err)
+				writeError(w, CodeBadRequest, "bad pattern %d: %v", ts.NumPatterns(), err)
 				return
 			}
 			ts.Add(v)
@@ -485,7 +537,7 @@ func (s *Server) compressBuffered(w http.ResponseWriter, r *http.Request, req *c
 		if r.Context().Err() != nil {
 			return // client gone; nothing useful to answer
 		}
-		httpError(w, http.StatusUnprocessableEntity, "compress: %v", err)
+		writeError(w, compressErrorCode(err), "compress: %v", err)
 		return
 	}
 	s.metrics.ObserveRate(req.codecName, res.RatePercent())
@@ -521,7 +573,7 @@ func (s *Server) compressToMemory(r *http.Request, req *compressRequest, ts *tes
 		return nil, err
 	}
 	if err := sw.WriteSet(ts); err != nil {
-		sw.Close()
+		_ = sw.Close() // the WriteSet error is the story; Close joins the workers
 		return nil, err
 	}
 	if err := sw.Close(); err != nil {
@@ -547,7 +599,7 @@ func (s *Server) writeResult(w http.ResponseWriter, res *Result, cacheState stri
 		h.Set("X-Tcomp-Cache", cacheState)
 	}
 	cw := &countingWriter{w: w, n: s.metrics.BytesOut}
-	cw.Write(res.Body)
+	_, _ = cw.Write(res.Body) // client gone: nothing to do
 }
 
 // compressStream serves an over-cap submission: the already-buffered
@@ -562,25 +614,25 @@ func (s *Server) compressStream(w http.ResponseWriter, r *http.Request, req *com
 	enableFullDuplex(w)
 	h := w.Header()
 	h.Set("Content-Type", "application/octet-stream")
-	h.Set("Trailer", "X-Tcomp-Patterns, X-Tcomp-Chunks, X-Tcomp-Original-Bits, X-Tcomp-Compressed-Bits, X-Tcomp-Error")
+	h.Set("Trailer", "X-Tcomp-Patterns, X-Tcomp-Chunks, X-Tcomp-Original-Bits, X-Tcomp-Compressed-Bits, X-Tcomp-Error, X-Tcomp-Error-Code")
 	aw := &abortWriter{w: &countingWriter{w: w, n: s.metrics.BytesOut}}
 	sw, err := tcomp.NewStreamWriter(r.Context(), aw, req.codecName, prefix.Width, req.opts...)
 	if err != nil {
 		// NewStreamWriter validates before writing: the response is
 		// still clean, a real error answer is possible.
-		httpError(w, http.StatusUnprocessableEntity, "compress: %v", err)
+		writeError(w, compressErrorCode(err), "compress: %v", err)
 		return
 	}
-	fail := func(err error) {
+	fail := func(code string, err error) {
 		// Abort first: sw.Close would otherwise flush a terminator and
 		// trailer that make the truncated stream look complete.
 		aw.abort()
-		sw.Close()
-		h.Set("X-Tcomp-Error", err.Error())
+		_ = sw.Close() // the original err is the story; Close joins the workers
+		trailerError(h, code, err)
 		drainBody(body)
 	}
 	if err := sw.WriteSet(prefix); err != nil {
-		fail(err)
+		fail(compressErrorCode(err), err)
 		return
 	}
 	// sw's counters are owned by its collector goroutine until Close,
@@ -592,17 +644,17 @@ func (s *Server) compressStream(w http.ResponseWriter, r *http.Request, req *com
 			break
 		}
 		if err != nil {
-			fail(fmt.Errorf("bad pattern %d: %v", sent, err))
+			fail(CodeBadRequest, fmt.Errorf("bad pattern %d: %v", sent, err))
 			return
 		}
 		if err := sw.WritePattern(v); err != nil {
-			fail(err)
+			fail(compressErrorCode(err), err)
 			return
 		}
 		sent++
 	}
 	if err := sw.Close(); err != nil {
-		fail(err)
+		fail(compressErrorCode(err), err)
 		return
 	}
 	s.metrics.ObserveRate(req.codecName, sw.RatePercent())
@@ -616,11 +668,11 @@ func (s *Server) compressStream(w http.ResponseWriter, r *http.Request, req *com
 
 func (s *Server) handleDecompress(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		httpError(w, http.StatusMethodNotAllowed, "use POST")
+		writeError(w, CodeMethodNotAllowed, "use POST")
 		return
 	}
 	if err := s.lim.Acquire(r.Context()); err != nil {
-		httpError(w, http.StatusServiceUnavailable, "request cancelled while queued for a worker")
+		writeError(w, CodeUnavailable, "request cancelled while queued for a worker")
 		return
 	}
 	s.metrics.noteWorker(1)
@@ -632,41 +684,41 @@ func (s *Server) handleDecompress(w http.ResponseWriter, r *http.Request) {
 	body := &countingReader{r: http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes), n: s.metrics.BytesIn}
 	version, rest, err := container.Sniff(body)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "not a tcomp container: %v", err)
+		writeError(w, CodeBadRequest, "not a tcomp container: %v", err)
 		return
 	}
 	if version != container.Version3 {
 		art, err := tcomp.Open(rest)
 		if err != nil {
-			httpError(w, http.StatusBadRequest, "bad container: %v", err)
+			writeError(w, CodeCorruptContainer, "bad container: %v", err)
 			return
 		}
 		ts, err := tcomp.Decompress(art)
 		if err != nil {
-			httpError(w, http.StatusUnprocessableEntity, "decompress: %v", err)
+			writeError(w, decodeErrorCode(err), "decompress: %v", err)
 			return
 		}
 		h := w.Header()
 		h.Set("Content-Type", "text/plain; charset=utf-8")
 		h.Set("X-Tcomp-Codec", art.Codec)
 		h.Set("X-Tcomp-Patterns", strconv.Itoa(ts.NumPatterns()))
-		ts.Write(&countingWriter{w: w, n: s.metrics.BytesOut})
+		_ = ts.Write(&countingWriter{w: w, n: s.metrics.BytesOut}) // client gone: nothing to do
 		return
 	}
 
 	sr, err := tcomp.NewStreamReader(rest)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "bad chunked container: %v", err)
+		writeError(w, CodeCorruptContainer, "bad chunked container: %v", err)
 		return
 	}
 	enableFullDuplex(w)
 	h := w.Header()
 	h.Set("Content-Type", "text/plain; charset=utf-8")
 	h.Set("X-Tcomp-Codec", sr.Codec())
-	h.Set("Trailer", "X-Tcomp-Patterns, X-Tcomp-Error")
+	h.Set("Trailer", "X-Tcomp-Patterns, X-Tcomp-Error, X-Tcomp-Error-Code")
 	pw, err := testset.NewPatternWriter(&countingWriter{w: w, n: s.metrics.BytesOut}, sr.Width())
 	if err != nil {
-		httpError(w, http.StatusUnprocessableEntity, "decompress: %v", err)
+		writeError(w, decodeErrorCode(err), "decompress: %v", err)
 		return
 	}
 	n := 0
@@ -678,8 +730,9 @@ func (s *Server) handleDecompress(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			// The textual stream is already flowing; truncate it and
 			// name the failing chunk in the trailer.
-			pw.Close()
-			h.Set("X-Tcomp-Error", fmt.Sprintf("stream corrupt or truncated at chunk %d: %v", sr.ChunkIndex(), err))
+			_ = pw.Close() // truncating deliberately; the trailer names the cause
+			trailerError(h, decodeErrorCode(err),
+				fmt.Errorf("stream corrupt or truncated at chunk %d: %v", sr.ChunkIndex(), err))
 			drainBody(body)
 			return
 		}

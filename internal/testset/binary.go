@@ -112,7 +112,7 @@ func ReadBinary(r io.Reader) (*TestSet, error) {
 	if err := binary.Read(br, binary.BigEndian, &patterns); err != nil {
 		return nil, err
 	}
-	if width == 0 || width > 1<<24 || patterns > 1<<28 {
+	if width == 0 || width > MaxHeaderWidth || patterns > MaxHeaderPatterns {
 		return nil, fmt.Errorf("testset: implausible binary dimensions %dx%d", width, patterns)
 	}
 	// The dimension caps bound width and patterns individually; their

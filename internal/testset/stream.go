@@ -47,11 +47,22 @@ func NewScanner(r io.Reader) (*Scanner, error) {
 	return nil, fmt.Errorf("testset: empty input")
 }
 
+// MaxHeaderWidth and MaxHeaderPatterns bound the dimensions a textual
+// header may declare, mirroring the binary reader's caps. Rejecting an
+// absurd header at parse time keeps hostile input out of every
+// downstream constructor (testset.New and tritvec.New treat bad sizes
+// as programmer error and panic), so the parse boundary is where
+// input-derived dimensions are checked.
+const (
+	MaxHeaderWidth    = 1 << 24
+	MaxHeaderPatterns = 1 << 28
+)
+
 func parseHeader(line string) (width, want int, err error) {
 	var n int
 	if _, err := fmt.Sscanf(line, "%d *", &n); err == nil {
-		if n <= 0 {
-			return 0, 0, fmt.Errorf("testset: invalid header %q", line)
+		if n <= 0 || n > MaxHeaderWidth {
+			return 0, 0, fmt.Errorf("testset: invalid header %q (width must be in [1,%d])", line, MaxHeaderWidth)
 		}
 		return n, -1, nil
 	}
@@ -59,8 +70,11 @@ func parseHeader(line string) (width, want int, err error) {
 	if _, err := fmt.Sscanf(line, "%d %d", &n, &t); err != nil {
 		return 0, 0, fmt.Errorf("testset: bad header %q: %v", line, err)
 	}
-	if n <= 0 || t < 0 {
-		return 0, 0, fmt.Errorf("testset: invalid header %q", line)
+	if n <= 0 || n > MaxHeaderWidth {
+		return 0, 0, fmt.Errorf("testset: invalid header %q (width must be in [1,%d])", line, MaxHeaderWidth)
+	}
+	if t < 0 || t > MaxHeaderPatterns {
+		return 0, 0, fmt.Errorf("testset: invalid header %q (pattern count must be in [0,%d])", line, MaxHeaderPatterns)
 	}
 	return n, t, nil
 }
