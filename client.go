@@ -96,6 +96,9 @@ func optionValues(opts []Option) url.Values {
 //	ErrBadRequest   the request itself was malformed (HTTP 400/405:
 //	                unknown parameter, out-of-range value, bad test-set
 //	                syntax, a body that is not a container at all)
+//	ErrTooLarge     the request body hit the daemon's size cap (HTTP
+//	                413) — split the submission or raise the daemon's
+//	                -max-body
 //	ErrCorruptInput well-formed request, unprocessable input (HTTP 422:
 //	                corrupt or truncated container, uncompressible set;
 //	                also mid-stream corruption reported via trailer)
@@ -105,6 +108,7 @@ func optionValues(opts []Option) url.Values {
 //	                it was queued (HTTP 503) — retry elsewhere or later
 var (
 	ErrBadRequest     = errors.New("tcomp: daemon rejected the request as malformed")
+	ErrTooLarge       = errors.New("tcomp: request exceeds the daemon's size limit")
 	ErrCorruptInput   = errors.New("tcomp: daemon could not process the input")
 	ErrRemoteInternal = errors.New("tcomp: daemon internal error")
 	ErrUnavailable    = errors.New("tcomp: daemon unavailable")
@@ -147,6 +151,9 @@ func (e *RemoteError) Is(target error) bool {
 	case ErrBadRequest:
 		return e.Code == "bad_request" || e.Code == "method_not_allowed" ||
 			(e.Code == "" && (e.Status == http.StatusBadRequest || e.Status == http.StatusMethodNotAllowed))
+	case ErrTooLarge:
+		return e.Code == "request_too_large" ||
+			(e.Code == "" && e.Status == http.StatusRequestEntityTooLarge)
 	case ErrCorruptInput:
 		return e.Code == "corrupt_container" || e.Code == "unprocessable" ||
 			(e.Code == "" && e.Status == http.StatusUnprocessableEntity)

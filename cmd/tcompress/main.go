@@ -231,6 +231,8 @@ func runStream(ctx context.Context, r io.Reader, out, method string, opts []tcom
 // "retry elsewhere" from "report a daemon bug".
 func remoteHint(err error) string {
 	switch {
+	case errors.Is(err, tcomp.ErrTooLarge):
+		return fmt.Sprintf("%v (the test set exceeds the daemon's body cap; split it or raise tcompd -max-body)", err)
 	case errors.Is(err, tcomp.ErrBadRequest):
 		return fmt.Sprintf("%v (fix the request: bad parameter or test-set syntax)", err)
 	case errors.Is(err, tcomp.ErrCorruptInput):

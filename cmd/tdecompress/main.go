@@ -190,6 +190,8 @@ func streamFailureLine(chunk int, err error) string {
 // from "retry elsewhere" from "report a daemon bug".
 func remoteHint(err error) string {
 	switch {
+	case errors.Is(err, tcomp.ErrTooLarge):
+		return fmt.Sprintf("%v (the container exceeds the daemon's body cap; raise tcompd -max-body)", err)
 	case errors.Is(err, tcomp.ErrBadRequest):
 		return fmt.Sprintf("%v (the body is not a tcomp container; check the input file)", err)
 	case errors.Is(err, tcomp.ErrCorruptInput):

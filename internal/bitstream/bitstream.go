@@ -39,6 +39,32 @@ type Source interface {
 	ReadBits(n int) (uint64, error)
 }
 
+// Peeker is the optional fast-path extension of Source: a window of
+// upcoming bits without consuming them, plus a bulk Skip. Decoders
+// upgrade a Source with a type assertion and fall back to the
+// bit-at-a-time Source methods when it is absent, so third-party
+// Sources keep working.
+//
+// The contract both implementations honor: PeekBits(n) with n in
+// [0,PeekMax] returns avail = min(n, bits remaining) and the next avail
+// bits MSB-first in the low avail bits of v. avail < n therefore means
+// fewer than n bits remain in the whole stream — there is no transient
+// short peek — which lets scanners treat a short window as
+// end-of-stream. Skip consumes bits previously seen via PeekBits.
+type Peeker interface {
+	// PeekBits returns the next min(n, PeekMax, remaining) bits without
+	// consuming them, MSB-first in the low bits of v.
+	PeekBits(n int) (v uint64, avail int)
+	// Skip consumes n bits. Skipping past the end of the stream returns
+	// an error wrapping ErrEOS (the stream position is then exhausted).
+	Skip(n int) error
+}
+
+// PeekMax is the largest window PeekBits guarantees: the StreamReader's
+// accumulator refills to at least 57 valid bits, so any peek up to 56
+// bits is short only at true end of stream.
+const PeekMax = 56
+
 // Writer accumulates bits MSB-first into a byte buffer.
 type Writer struct {
 	buf  []byte
@@ -188,13 +214,19 @@ func (r *Reader) ReadBits(n int) (uint64, error) {
 	}
 	p := r.pos
 	r.pos += n
+	return r.gather(p, n), nil
+}
+
+// gather reads n in-bounds bits starting at bit position p without
+// advancing; callers have already checked p+n <= nbit and 0 < n <= 64.
+func (r *Reader) gather(p, n int) uint64 {
 	var v uint64
 	// Head: finish the current partial byte.
 	if off := p & 7; off != 0 {
 		b := uint64(r.buf[p>>3]) & (0xFF >> uint(off))
 		take := 8 - off
 		if n <= take {
-			return b >> uint(take-n), nil
+			return b >> uint(take-n)
 		}
 		v = b
 		n -= take
@@ -210,7 +242,40 @@ func (r *Reader) ReadBits(n int) (uint64, error) {
 	if n > 0 {
 		v = v<<uint(n) | uint64(r.buf[p>>3])>>uint(8-n)
 	}
-	return v, nil
+	return v
+}
+
+// PeekBits returns the next min(n, PeekMax, Remaining()) bits MSB-first
+// in the low bits of v without consuming them. A reader constructed
+// with an oversized bit count exposes zero bits, so its sticky error
+// still surfaces through the Source methods the caller falls back to.
+func (r *Reader) PeekBits(n int) (v uint64, avail int) {
+	if n > PeekMax {
+		n = PeekMax
+	}
+	if rem := r.nbit - r.pos; n > rem {
+		n = rem
+	}
+	if n <= 0 {
+		return 0, 0
+	}
+	return r.gather(r.pos, n), n
+}
+
+// Skip consumes n bits without decoding them.
+func (r *Reader) Skip(n int) error {
+	if n < 0 {
+		return fmt.Errorf("bitstream: Skip n=%d: %w", n, ErrBitCount)
+	}
+	if r.pos+n > r.nbit {
+		r.pos = r.nbit
+		if r.err != nil {
+			return r.err
+		}
+		return ErrEOS
+	}
+	r.pos += n
+	return nil
 }
 
 // Remaining returns the number of unread bits.
@@ -337,10 +402,74 @@ func (r *StreamReader) ReadBits(n int) (uint64, error) {
 	return r.acc >> uint(r.nacc) & (1<<uint(n) - 1), nil
 }
 
+// PeekBits returns the next min(n, PeekMax, remaining) bits MSB-first
+// in the low bits of v without consuming them. The accumulator refills
+// to more than PeekMax bits whenever the source can still deliver, so a
+// short window means the stream itself is ending — the property unary
+// run scanners rely on.
+func (r *StreamReader) PeekBits(n int) (v uint64, avail int) {
+	if n > PeekMax {
+		n = PeekMax
+	}
+	if r.limit >= 0 {
+		if rem := r.limit - r.pos; n > rem {
+			n = rem
+		}
+	}
+	if n <= 0 {
+		return 0, 0
+	}
+	if r.nacc < n {
+		r.refill()
+		if r.nacc < n {
+			n = r.nacc
+		}
+	}
+	if n <= 0 {
+		return 0, 0
+	}
+	return r.acc >> uint(r.nacc-n) & (1<<uint(n) - 1), n
+}
+
+// Skip consumes n bits without decoding them. Only bits already seen
+// through PeekBits are guaranteed skippable; skipping past the end
+// returns an error wrapping ErrEOS.
+func (r *StreamReader) Skip(n int) error {
+	if n < 0 {
+		return fmt.Errorf("bitstream: Skip n=%d: %w", n, ErrBitCount)
+	}
+	for n > 0 {
+		if r.limit >= 0 && r.pos >= r.limit {
+			return r.eosError(n)
+		}
+		if r.nacc == 0 {
+			r.refill()
+			if r.nacc == 0 {
+				return r.eosError(n)
+			}
+		}
+		take := n
+		if take > r.nacc {
+			take = r.nacc
+		}
+		if r.limit >= 0 {
+			if rem := r.limit - r.pos; take > rem {
+				take = rem
+			}
+		}
+		r.nacc -= take
+		r.pos += take
+		n -= take
+	}
+	return nil
+}
+
 // Pos returns the number of bits consumed so far.
 func (r *StreamReader) Pos() int { return r.pos }
 
 var (
 	_ Source = (*Reader)(nil)
 	_ Source = (*StreamReader)(nil)
+	_ Peeker = (*Reader)(nil)
+	_ Peeker = (*StreamReader)(nil)
 )

@@ -7,6 +7,7 @@ package golomb
 import (
 	"errors"
 	"fmt"
+	"math"
 	"math/bits"
 
 	"repro/internal/bitstream"
@@ -123,38 +124,89 @@ func Decompress(r bitstream.Source, m, totalBits int) (tritvec.Vector, error) {
 		return tritvec.Vector{}, fmt.Errorf("golomb: negative output size %d", totalBits)
 	}
 	out := tritvec.New(totalBits)
+	pk, _ := r.(bitstream.Peeker)
 	pos := 0
 	for pos < totalBits {
-		bit, err := r.ReadBit()
+		q, atEnd, err := readUnary(r, pk)
 		if err != nil {
-			if errors.Is(err, bitstream.ErrEOS) {
-				for ; pos < totalBits; pos++ {
-					out.Set(pos, tritvec.Zero)
-				}
-				break
-			}
 			return tritvec.Vector{}, err
 		}
-		q := 0
-		for bit == 1 {
-			q++
-			if bit, err = r.ReadBit(); err != nil {
-				return tritvec.Vector{}, fmt.Errorf("golomb: truncated quotient: %w", err)
-			}
+		if atEnd {
+			out.FillZeros(pos, totalBits-pos)
+			break
 		}
 		rem, err := readTruncated(r, m)
 		if err != nil {
 			return tritvec.Vector{}, fmt.Errorf("golomb: truncated remainder: %w", err)
 		}
-		n := q*m + rem
-		for i := 0; i < n && pos < totalBits; i++ {
-			out.Set(pos, tritvec.Zero)
-			pos++
+		// A hostile stream can drive q high enough that q*m + rem wraps
+		// int and produces a small (or negative) run; any such length is
+		// corrupt, not merely oversized.
+		if q > (math.MaxInt-rem)/m {
+			return tritvec.Vector{}, fmt.Errorf("golomb: run length %d*%d+%d overflows: corrupt stream", q, m, rem)
 		}
+		n := q*m + rem
+		if n > totalBits-pos {
+			n = totalBits - pos
+		}
+		out.FillZeros(pos, n)
+		pos += n
 		if pos < totalBits {
 			out.Set(pos, tritvec.One)
 			pos++
 		}
 	}
 	return out, nil
+}
+
+// readUnary reads the unary quotient (a run of 1s closed by a 0). When
+// the source is a Peeker it scans whole peek windows with LeadingZeros64
+// instead of a bit at a time; the fallback keeps third-party Sources
+// working. atEnd reports end of stream before any bit of the codeword —
+// the implied-zeros case for the caller.
+func readUnary(r bitstream.Source, pk bitstream.Peeker) (q int, atEnd bool, err error) {
+	if pk == nil {
+		bit, err := r.ReadBit()
+		if err != nil {
+			if errors.Is(err, bitstream.ErrEOS) {
+				return 0, true, nil
+			}
+			return 0, false, err
+		}
+		for bit == 1 {
+			q++
+			if bit, err = r.ReadBit(); err != nil {
+				return 0, false, fmt.Errorf("golomb: truncated quotient: %w", err)
+			}
+		}
+		return q, false, nil
+	}
+	for {
+		v, avail := pk.PeekBits(bitstream.PeekMax)
+		if avail == 0 {
+			// Exhausted; ReadBit surfaces the underlying error (true EOS
+			// or a sticky reader error).
+			_, err := r.ReadBit()
+			if q == 0 && errors.Is(err, bitstream.ErrEOS) {
+				return 0, true, nil
+			}
+			if q == 0 {
+				return 0, false, err
+			}
+			return 0, false, fmt.Errorf("golomb: truncated quotient: %w", err)
+		}
+		// Leading 1s of the window = leading 0s of its complement once
+		// the window is left-aligned in the 64-bit word.
+		lead := bits.LeadingZeros64(^(v << uint(64-avail)))
+		if lead < avail {
+			if err := pk.Skip(lead + 1); err != nil {
+				return 0, false, err
+			}
+			return q + lead, false, nil
+		}
+		q += avail
+		if err := pk.Skip(avail); err != nil {
+			return 0, false, err
+		}
+	}
 }

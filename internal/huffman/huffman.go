@@ -9,6 +9,8 @@ import (
 	"container/heap"
 	"fmt"
 	"sort"
+
+	"repro/internal/bitstream"
 )
 
 // Code is a prefix code over a symbol alphabet 0..n-1. A symbol with
@@ -283,6 +285,81 @@ func (d *Decoder) Decode(nextBit func() (uint, error)) (int, error) {
 		}
 		nodeIdx = next
 	}
+}
+
+// maxTableBits bounds the primary lookup table of a TableDecoder: 2^11
+// entries cover every codeword of length <= 11 — in practice all of
+// them, since selective-Huffman dictionaries are small — while keeping
+// the table build O(thousands) even for degenerate codes.
+const maxTableBits = 11
+
+type tableEntry struct {
+	sym int32 // decoded symbol
+	len uint8 // codeword length in bits; 0 = not resolvable by the table
+}
+
+// TableDecoder decodes a whole symbol per table probe: it peeks a
+// tableBits window, looks the window up in a precomputed table, and
+// consumes the matched codeword's length in one Skip. Codewords longer
+// than the table window — and sources without the bitstream.Peeker fast
+// path — fall back to the bit-at-a-time trie, which also owns the
+// error paths (truncated stream, invalid sequence), so both decoders
+// are observably identical.
+type TableDecoder struct {
+	trie      *Decoder
+	tableBits int
+	entries   []tableEntry
+}
+
+// NewTableDecoder builds a table-accelerated decoder for c.
+func NewTableDecoder(c *Code) (*TableDecoder, error) {
+	trie, err := NewDecoder(c)
+	if err != nil {
+		return nil, err
+	}
+	tb := 0
+	for _, l := range c.Lengths {
+		if l > tb {
+			tb = l
+		}
+	}
+	if tb > maxTableBits {
+		tb = maxTableBits
+	}
+	d := &TableDecoder{trie: trie, tableBits: tb, entries: make([]tableEntry, 1<<uint(tb))}
+	for sym, l := range c.Lengths {
+		if l == 0 || l > tb {
+			continue
+		}
+		// Every window whose first l bits equal the codeword decodes to
+		// this symbol, whatever the following bits are. Like the trie,
+		// only the low l bits of the word count — codes parsed from a
+		// container may carry junk above them.
+		base := (c.Words[sym] & (1<<uint(l) - 1)) << uint(tb-l)
+		for i := uint64(0); i < 1<<uint(tb-l); i++ {
+			d.entries[base+i] = tableEntry{sym: int32(sym), len: uint8(l)}
+		}
+	}
+	return d, nil
+}
+
+// Decode reads one symbol from src.
+func (d *TableDecoder) Decode(src bitstream.Source) (int, error) {
+	if pk, ok := src.(bitstream.Peeker); ok {
+		v, avail := pk.PeekBits(d.tableBits)
+		if avail > 0 {
+			// A short window is zero-padded; a hit still only stands on
+			// the len bits that are really there.
+			e := d.entries[v<<uint(d.tableBits-avail)]
+			if e.len != 0 && int(e.len) <= avail {
+				if err := pk.Skip(int(e.len)); err != nil {
+					return 0, err
+				}
+				return int(e.sym), nil
+			}
+		}
+	}
+	return d.trie.Decode(src.ReadBit)
 }
 
 // NumNodes returns the number of internal trie nodes — used by the on-chip

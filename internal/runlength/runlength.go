@@ -8,6 +8,7 @@ package runlength
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 
 	"repro/internal/bitstream"
 	"repro/internal/testset"
@@ -22,21 +23,29 @@ func ZeroFill(ts *testset.TestSet) tritvec.Vector {
 
 // Runs extracts the 0-run lengths of a fully specified bit string: one
 // entry per 1-bit (the zeros preceding it); a trailing run without a
-// terminating 1 is returned separately.
+// terminating 1 is returned separately. The scan is word-wise: each
+// 64-position word costs one TrailingZeros64 per 1-bit it contains, so
+// the long 0-runs typical of test data are skipped a word at a time.
 func Runs(flat tritvec.Vector) (runs []int, trailing int) {
-	cur := 0
-	for i := 0; i < flat.Len(); i++ {
-		switch flat.Get(i) {
-		case tritvec.Zero:
-			cur++
-		case tritvec.One:
-			runs = append(runs, cur)
-			cur = 0
-		default:
+	n := flat.Len()
+	care, val := flat.Words()
+	last := -1 // position of the previous 1-bit
+	for w := range val {
+		k := n - w*64
+		mask := ^uint64(0)
+		if k < 64 {
+			mask = 1<<uint(k) - 1
+		}
+		if care[w]&mask != mask {
 			panic("runlength: unspecified bit in Runs input")
 		}
+		for x := val[w]; x != 0; x &= x - 1 {
+			pos := w*64 + bits.TrailingZeros64(x)
+			runs = append(runs, pos-last-1)
+			last = pos
+		}
 	}
-	return runs, cur
+	return runs, n - 1 - last
 }
 
 // Result reports an encoding.
@@ -113,18 +122,18 @@ func Decompress(r bitstream.Source, b, totalBits int) (tritvec.Vector, error) {
 		if err != nil {
 			if errors.Is(err, bitstream.ErrEOS) {
 				// Stream exhausted: the rest is implied zeros.
-				for ; pos < totalBits; pos++ {
-					out.Set(pos, tritvec.Zero)
-				}
+				out.FillZeros(pos, totalBits-pos)
+				pos = totalBits
 				break
 			}
 			return tritvec.Vector{}, err
 		}
 		n := int(v)
-		for i := 0; i < n && pos < totalBits; i++ {
-			out.Set(pos, tritvec.Zero)
-			pos++
+		if n > totalBits-pos {
+			n = totalBits - pos
 		}
+		out.FillZeros(pos, n)
+		pos += n
 		if v != max && pos < totalBits {
 			out.Set(pos, tritvec.One)
 			pos++

@@ -127,7 +127,7 @@ func Decompress(r bitstream.Source, res *Result, totalBits int) (tritvec.Vector,
 		return tritvec.Vector{}, fmt.Errorf("selhuff: code has %d symbols for %d dictionary words",
 			len(res.Code.Lengths), len(res.Dictionary))
 	}
-	dec, err := huffman.NewDecoder(res.Code)
+	dec, err := huffman.NewTableDecoder(res.Code)
 	if err != nil {
 		return tritvec.Vector{}, err
 	}
@@ -140,7 +140,7 @@ func Decompress(r bitstream.Source, res *Result, totalBits int) (tritvec.Vector,
 		}
 		var word uint64
 		if flag == 1 {
-			sym, err := dec.Decode(r.ReadBit)
+			sym, err := dec.Decode(r)
 			if err != nil {
 				return tritvec.Vector{}, err
 			}
@@ -151,14 +151,14 @@ func Decompress(r bitstream.Source, res *Result, totalBits int) (tritvec.Vector,
 				return tritvec.Vector{}, err
 			}
 		}
-		for i := res.K - 1; i >= 0 && pos < totalBits; i-- {
-			if word>>uint(i)&1 == 1 {
-				out.Set(pos, tritvec.One)
-			} else {
-				out.Set(pos, tritvec.Zero)
-			}
-			pos++
+		k := res.K
+		if k > totalBits-pos {
+			// Final partial block: its high bits fill the tail.
+			word >>= uint(k - (totalBits - pos))
+			k = totalBits - pos
 		}
+		out.SetWordMSB(pos, word, k)
+		pos += k
 	}
 	return out, nil
 }

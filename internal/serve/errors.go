@@ -15,6 +15,9 @@
 //	                        parameter, bad test-set syntax, a body that is
 //	                        not a tcomp container at all
 //	method_not_allowed 405  wrong HTTP method for the endpoint
+//	request_too_large  413  the request body hit the daemon's MaxBodyBytes
+//	                        cap (http.MaxBytesReader); split the submission
+//	                        or raise the daemon's limit
 //	corrupt_container  422  the body parses as a tcomp container but is
 //	                        corrupt or truncated (bad CRC, payload shorter
 //	                        than declared, hostile dimensions, undecodable
@@ -43,6 +46,7 @@ import (
 const (
 	CodeBadRequest       = "bad_request"
 	CodeMethodNotAllowed = "method_not_allowed"
+	CodeTooLarge         = "request_too_large"
 	CodeCorruptContainer = "corrupt_container"
 	CodeUnprocessable    = "unprocessable"
 	CodeInternalPanic    = "internal_panic"
@@ -56,6 +60,8 @@ func statusOf(code string) int {
 		return http.StatusBadRequest
 	case CodeMethodNotAllowed:
 		return http.StatusMethodNotAllowed
+	case CodeTooLarge:
+		return http.StatusRequestEntityTooLarge
 	case CodeCorruptContainer, CodeUnprocessable:
 		return http.StatusUnprocessableEntity
 	case CodeUnavailable:
@@ -89,25 +95,39 @@ func writeError(w http.ResponseWriter, code string, format string, args ...any) 
 	}
 }
 
+// bodyErrorCode spots a request body that hit the MaxBytesReader cap —
+// the read error is *http.MaxBytesError however many layers wrapped it —
+// and classifies it as request_too_large instead of whatever parse error
+// the truncation surfaced as. Everything else keeps the fallback code.
+func bodyErrorCode(err error, fallback string) string {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		return CodeTooLarge
+	}
+	return fallback
+}
+
 // compressErrorCode classifies a failure of the compression path: a
 // panic contained by the pipeline engine (surfacing as a job error that
-// wraps pipeline.ErrPanic) is an internal bug, everything else is input
-// the codec could not process.
+// wraps pipeline.ErrPanic) is an internal bug, a body-cap hit is the
+// client's size problem, everything else is input the codec could not
+// process.
 func compressErrorCode(err error) string {
 	if errors.Is(err, pipeline.ErrPanic) {
 		return CodeInternalPanic
 	}
-	return CodeUnprocessable
+	return bodyErrorCode(err, CodeUnprocessable)
 }
 
 // decodeErrorCode classifies a failure of the decompression path: a
-// contained panic is internal, everything else means the container was
-// corrupt or truncated.
+// contained panic is internal, a body-cap hit is the client's size
+// problem, everything else means the container was corrupt or
+// truncated.
 func decodeErrorCode(err error) string {
 	if errors.Is(err, pipeline.ErrPanic) {
 		return CodeInternalPanic
 	}
-	return CodeCorruptContainer
+	return bodyErrorCode(err, CodeCorruptContainer)
 }
 
 // trailerError records a failure discovered after body bytes have been

@@ -1,0 +1,111 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	tcomp "repro"
+)
+
+// TestConcurrentRequestsNoPooledAliasing hammers the compress endpoint
+// from many goroutines over a small set of distinct submissions. The
+// engine guarantees the compressed bytes are a pure function of (input,
+// codec, parameters), so every response for a group must be
+// byte-identical to that group's reference — any cross-request bleed
+// through the pooled readers/buffers/test sets, or a cache Result whose
+// Body aliases pooled scratch, shows up as a mismatched body. Run with
+// -race this also proves the pools are data-race free.
+func TestConcurrentRequestsNoPooledAliasing(t *testing.T) {
+	_, client := newTestServer(t, Config{Workers: 4, CacheBytes: 1 << 20})
+	ctx := context.Background()
+
+	const groups = 4
+	inputs := make([][]byte, groups)
+	want := make([][]byte, groups)
+	for g := 0; g < groups; g++ {
+		ts := randomSet(64+g, 30, int64(1000+g))
+		inputs[g] = textOf(t, ts)
+		var ref bytes.Buffer
+		if _, err := client.Compress(ctx, "fdr", bytes.NewReader(inputs[g]), &ref, tcomp.WithSeed(7)); err != nil {
+			t.Fatalf("reference compress group %d: %v", g, err)
+		}
+		want[g] = ref.Bytes()
+	}
+
+	const workers = 8
+	const perWorker = 12
+	var wg sync.WaitGroup
+	errc := make(chan error, workers*perWorker)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				g := (w + i) % groups
+				var got bytes.Buffer
+				stats, err := client.Compress(ctx, "fdr", bytes.NewReader(inputs[g]), &got, tcomp.WithSeed(7))
+				if err != nil {
+					errc <- fmt.Errorf("worker %d req %d: %v", w, i, err)
+					return
+				}
+				if !bytes.Equal(got.Bytes(), want[g]) {
+					errc <- fmt.Errorf("worker %d req %d group %d: body differs from reference (%d vs %d bytes, cacheHit=%v)",
+						w, i, g, got.Len(), len(want[g]), stats.CacheHit)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}
+
+// TestCacheResultBodyImmutable pins the cache's read-only contract: the
+// body bytes handed out by an early hit must still be intact after many
+// later requests have churned the pooled scratch buffers the Result was
+// assembled in.
+func TestCacheResultBodyImmutable(t *testing.T) {
+	_, client := newTestServer(t, Config{Workers: 2, CacheBytes: 1 << 20})
+	ctx := context.Background()
+	in := textOf(t, randomSet(48, 20, 5))
+
+	var first bytes.Buffer
+	if _, err := client.Compress(ctx, "golomb", bytes.NewReader(in), &first, tcomp.WithSeed(7)); err != nil {
+		t.Fatal(err)
+	}
+	var hit bytes.Buffer
+	stats, err := client.Compress(ctx, "golomb", bytes.NewReader(in), &hit, tcomp.WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.CacheHit {
+		t.Fatal("second identical request must be a cache hit")
+	}
+	snapshot := append([]byte(nil), hit.Bytes()...)
+
+	// Churn the pools with unrelated work.
+	for i := 0; i < 20; i++ {
+		var sink bytes.Buffer
+		if _, err := client.Compress(ctx, "rl", bytes.NewReader(textOf(t, randomSet(32, 10, int64(i)))), &sink, tcomp.WithSeed(7)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var again bytes.Buffer
+	stats, err = client.Compress(ctx, "golomb", bytes.NewReader(in), &again, tcomp.WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.CacheHit {
+		t.Fatal("third identical request must be a cache hit")
+	}
+	if !bytes.Equal(again.Bytes(), snapshot) || !bytes.Equal(first.Bytes(), snapshot) {
+		t.Fatal("cached body changed across pool churn: Result aliases pooled scratch")
+	}
+}

@@ -32,8 +32,6 @@
 package serve
 
 import (
-	"bufio"
-	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -450,7 +448,8 @@ func (s *Server) handleCompress(w http.ResponseWriter, r *http.Request) {
 	}()
 
 	body := &countingReader{r: http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes), n: s.metrics.BytesIn}
-	br := bufio.NewReader(body)
+	br := getBufReader(body)
+	defer putBufReader(br)
 	if peek, err := br.Peek(4); err == nil && string(peek) == "TSET" {
 		// Binary test-set body: the format is already in-memory-sized
 		// (bounded by MaxBodyBytes), so take the buffered path. Cache
@@ -459,7 +458,7 @@ func (s *Server) handleCompress(w http.ResponseWriter, r *http.Request) {
 		// cacheable regardless of submission encoding.
 		ts, err := testset.ReadBinary(br)
 		if err != nil {
-			writeError(w, CodeBadRequest, "bad binary test set: %v", err)
+			writeError(w, bodyErrorCode(err, CodeBadRequest), "bad binary test set: %v", err)
 			return
 		}
 		canonical := int64(ts.NumPatterns()) * int64(ts.Width+1)
@@ -469,14 +468,15 @@ func (s *Server) handleCompress(w http.ResponseWriter, r *http.Request) {
 
 	sc, err := testset.NewScanner(br)
 	if err != nil {
-		writeError(w, CodeBadRequest, "bad test set: %v", err)
+		writeError(w, bodyErrorCode(err, CodeBadRequest), "bad test set: %v", err)
 		return
 	}
 	// Cache probe: buffer patterns while the canonical input stays under
 	// the cap. Most submissions end in here and become cacheable; the
 	// rare multi-gigabyte set overflows the cap and streams through
 	// uncached at O(chunk) memory.
-	ts := testset.New(sc.Width())
+	ts := getTestSet(sc.Width())
+	defer putTestSet(ts)
 	canon := int64(0)
 	overCap := false
 	for {
@@ -485,7 +485,7 @@ func (s *Server) handleCompress(w http.ResponseWriter, r *http.Request) {
 			break
 		}
 		if err != nil {
-			writeError(w, CodeBadRequest, "bad pattern %d: %v", ts.NumPatterns(), err)
+			writeError(w, bodyErrorCode(err, CodeBadRequest), "bad pattern %d: %v", ts.NumPatterns(), err)
 			return
 		}
 		ts.Add(v)
@@ -508,7 +508,7 @@ func (s *Server) handleCompress(w http.ResponseWriter, r *http.Request) {
 				break
 			}
 			if err != nil {
-				writeError(w, CodeBadRequest, "bad pattern %d: %v", ts.NumPatterns(), err)
+				writeError(w, bodyErrorCode(err, CodeBadRequest), "bad pattern %d: %v", ts.NumPatterns(), err)
 				return
 			}
 			ts.Add(v)
@@ -552,23 +552,27 @@ func (s *Server) compressBuffered(w http.ResponseWriter, r *http.Request, req *c
 }
 
 // compressToMemory runs the actual codec work for a buffered request.
+// The container is assembled in a pooled scratch buffer and copied out
+// into an exact-size private slice: a Result may enter the cache, whose
+// read-only Body must never alias per-request scratch.
 func (s *Server) compressToMemory(r *http.Request, req *compressRequest, ts *testset.TestSet) (*Result, error) {
-	var buf bytes.Buffer
+	buf := getScratch()
+	defer putScratch(buf)
 	if req.format == "v2" {
 		art, err := req.codec.Compress(r.Context(), ts, req.opts...)
 		if err != nil {
 			return nil, err
 		}
-		if err := tcomp.Write(&buf, art); err != nil {
+		if err := tcomp.Write(buf, art); err != nil {
 			return nil, err
 		}
 		return &Result{
-			Body:     buf.Bytes(),
+			Body:     append([]byte(nil), buf.Bytes()...),
 			Patterns: art.Patterns, Chunks: 0,
 			OriginalBits: art.OriginalBits, CompressedBits: art.CompressedBits,
 		}, nil
 	}
-	sw, err := tcomp.NewStreamWriter(r.Context(), &buf, req.codecName, ts.Width, req.opts...)
+	sw, err := tcomp.NewStreamWriter(r.Context(), buf, req.codecName, ts.Width, req.opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -580,7 +584,7 @@ func (s *Server) compressToMemory(r *http.Request, req *compressRequest, ts *tes
 		return nil, err
 	}
 	return &Result{
-		Body:     buf.Bytes(),
+		Body:     append([]byte(nil), buf.Bytes()...),
 		Patterns: sw.Patterns(), Chunks: sw.Chunks(),
 		OriginalBits: sw.OriginalBits(), CompressedBits: sw.CompressedBits(),
 	}, nil
@@ -644,7 +648,7 @@ func (s *Server) compressStream(w http.ResponseWriter, r *http.Request, req *com
 			break
 		}
 		if err != nil {
-			fail(CodeBadRequest, fmt.Errorf("bad pattern %d: %v", sent, err))
+			fail(bodyErrorCode(err, CodeBadRequest), fmt.Errorf("bad pattern %d: %w", sent, err))
 			return
 		}
 		if err := sw.WritePattern(v); err != nil {
@@ -684,13 +688,13 @@ func (s *Server) handleDecompress(w http.ResponseWriter, r *http.Request) {
 	body := &countingReader{r: http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes), n: s.metrics.BytesIn}
 	version, rest, err := container.Sniff(body)
 	if err != nil {
-		writeError(w, CodeBadRequest, "not a tcomp container: %v", err)
+		writeError(w, bodyErrorCode(err, CodeBadRequest), "not a tcomp container: %v", err)
 		return
 	}
 	if version != container.Version3 {
 		art, err := tcomp.Open(rest)
 		if err != nil {
-			writeError(w, CodeCorruptContainer, "bad container: %v", err)
+			writeError(w, bodyErrorCode(err, CodeCorruptContainer), "bad container: %v", err)
 			return
 		}
 		ts, err := tcomp.Decompress(art)
@@ -708,7 +712,7 @@ func (s *Server) handleDecompress(w http.ResponseWriter, r *http.Request) {
 
 	sr, err := tcomp.NewStreamReader(rest)
 	if err != nil {
-		writeError(w, CodeCorruptContainer, "bad chunked container: %v", err)
+		writeError(w, bodyErrorCode(err, CodeCorruptContainer), "bad chunked container: %v", err)
 		return
 	}
 	enableFullDuplex(w)

@@ -102,10 +102,11 @@ func (s *Scanner) Next() (tritvec.Vector, error) {
 		}
 		v, err := tritvec.FromString(line)
 		if err != nil {
-			return tritvec.Vector{}, err
+			return tritvec.Vector{}, s.parseOrReadError(err)
 		}
 		if v.Len() != s.width {
-			return tritvec.Vector{}, fmt.Errorf("testset: pattern length %d != width %d", v.Len(), s.width)
+			return tritvec.Vector{}, s.parseOrReadError(
+				fmt.Errorf("testset: pattern length %d != width %d", v.Len(), s.width))
 		}
 		s.seen++
 		return v, nil
@@ -118,6 +119,18 @@ func (s *Scanner) Next() (tritvec.Vector, error) {
 		return tritvec.Vector{}, fmt.Errorf("testset: header promised %d patterns, got %d", s.want, s.seen)
 	}
 	return tritvec.Vector{}, io.EOF
+}
+
+// parseOrReadError reports why a scanned line is unusable. When the
+// underlying reader already failed — e.g. the body hit an
+// http.MaxBytesReader cap — the "line" is a truncated artifact of that
+// failure, and the read error (preserved for errors.As/Is) is the real
+// story, not whatever parse error the truncation caused.
+func (s *Scanner) parseOrReadError(parseErr error) error {
+	if rerr := s.sc.Err(); rerr != nil {
+		return fmt.Errorf("testset: input truncated by read error: %w", rerr)
+	}
+	return parseErr
 }
 
 // PatternWriter emits the textual format incrementally with a streaming

@@ -141,6 +141,72 @@ func (v Vector) Set(i int, t Trit) {
 	}
 }
 
+// FillZeros sets positions [pos, pos+n) to Zero word-at-a-time: care
+// bits set, value bits cleared, up to 64 positions per plane operation.
+// This is the bulk write behind the run-length-family decoders, whose
+// output is dominated by long runs of zeros.
+func (v Vector) FillZeros(pos, n int) {
+	if n <= 0 {
+		return
+	}
+	if pos < 0 || pos+n > v.n {
+		panic(fmt.Sprintf("tritvec: FillZeros [%d,%d) out of range [0,%d)", pos, pos+n, v.n))
+	}
+	w, b := pos>>6, uint(pos&63)
+	for n > 0 {
+		span := 64 - int(b)
+		if span > n {
+			span = n
+		}
+		mask := ^uint64(0)
+		if span < 64 {
+			mask = (1<<uint(span) - 1) << b
+		}
+		v.care[w] |= mask
+		v.val[w] &^= mask
+		n -= span
+		w++
+		b = 0
+	}
+}
+
+// SetWordMSB writes the low k bits of word (most significant first, the
+// bitstream convention) as fully specified trits at positions
+// [pos, pos+k), word-at-a-time. It is the bulk write behind the
+// block-codec decoders.
+func (v Vector) SetWordMSB(pos int, word uint64, k int) {
+	if k == 0 {
+		return
+	}
+	if k < 0 || k > 64 {
+		panic(fmt.Sprintf("tritvec: SetWordMSB k=%d out of range [0,64]", k))
+	}
+	if pos < 0 || pos+k > v.n {
+		panic(fmt.Sprintf("tritvec: SetWordMSB [%d,%d) out of range [0,%d)", pos, pos+k, v.n))
+	}
+	// The planes store position pos+i at word bit i (LSB-first), while
+	// word carries position pos+i at bit k-1-i (MSB-first): a single
+	// bit reversal converts the whole block.
+	rev := bits.Reverse64(word << uint(64-k))
+	w, b := pos>>6, uint(pos&63)
+	for k > 0 {
+		span := 64 - int(b)
+		if span > k {
+			span = k
+		}
+		mask := ^uint64(0)
+		if span < 64 {
+			mask = (1<<uint(span) - 1) << b
+		}
+		v.care[w] |= mask
+		v.val[w] = v.val[w]&^mask | rev<<b&mask
+		rev >>= uint(span)
+		k -= span
+		w++
+		b = 0
+	}
+}
+
 // Clone returns a deep copy of v.
 func (v Vector) Clone() Vector {
 	c := Vector{n: v.n, care: make([]uint64, len(v.care)), val: make([]uint64, len(v.val))}
@@ -241,14 +307,32 @@ func (v Vector) XPositions() []int {
 	return pos
 }
 
-// Slice returns a copy of positions [lo, hi).
+// Slice returns a copy of positions [lo, hi). Both planes are extracted
+// word-at-a-time (a funnel shift per output word), so splitting a flat
+// decode string back into patterns costs O(words), not O(bits).
 func (v Vector) Slice(lo, hi int) Vector {
 	if lo < 0 || hi > v.n || lo > hi {
 		panic(fmt.Sprintf("tritvec: bad slice [%d,%d) of length %d", lo, hi, v.n))
 	}
-	out := New(hi - lo)
-	for i := lo; i < hi; i++ {
-		out.Set(i-lo, v.Get(i))
+	out := Vector{n: hi - lo}
+	out.care = sliceWords(v.care, lo, out.n)
+	out.val = sliceWords(v.val, lo, out.n)
+	return out
+}
+
+// sliceWords extracts n bits of a plane starting at bit offset lo.
+func sliceWords(src []uint64, lo, n int) []uint64 {
+	out := make([]uint64, words(n))
+	w, b := lo>>6, uint(lo&63)
+	for i := range out {
+		x := src[w+i] >> b
+		if b != 0 && w+i+1 < len(src) {
+			x |= src[w+i+1] << (64 - b)
+		}
+		out[i] = x
+	}
+	if r := uint(n & 63); r != 0 {
+		out[len(out)-1] &= 1<<r - 1
 	}
 	return out
 }
@@ -270,13 +354,44 @@ func Concat(vs ...Vector) Vector {
 	return out
 }
 
-// CopyFrom copies o into v starting at position off.
+// insertBits overwrites k (<= 64) bits of a plane at bit offset off
+// with the low k bits of x (LSB-first position order).
+func insertBits(dst []uint64, off int, x uint64, k int) {
+	if k <= 0 {
+		return
+	}
+	if k < 64 {
+		x &= 1<<uint(k) - 1
+	}
+	w, b := off>>6, uint(off&63)
+	span := 64 - int(b)
+	if span > k {
+		span = k
+	}
+	mask := ^uint64(0)
+	if span < 64 {
+		mask = (1<<uint(span) - 1) << b
+	}
+	dst[w] = dst[w]&^mask | x<<b&mask
+	if k > span {
+		k2 := uint(k - span)
+		mask2 := uint64(1)<<k2 - 1
+		dst[w+1] = dst[w+1]&^mask2 | x>>uint(span)&mask2
+	}
+}
+
+// CopyFrom copies o into v starting at position off, word-at-a-time.
 func (v Vector) CopyFrom(o Vector, off int) {
 	if off < 0 || off+o.n > v.n {
 		panic("tritvec: CopyFrom out of range")
 	}
-	for i := 0; i < o.n; i++ {
-		v.Set(off+i, o.Get(i))
+	for i := 0; i < len(o.care); i++ {
+		k := o.n - i*64
+		if k > 64 {
+			k = 64
+		}
+		insertBits(v.care, off+i*64, o.care[i], k)
+		insertBits(v.val, off+i*64, o.val[i], k)
 	}
 }
 
@@ -303,16 +418,23 @@ func RandomTernary(n int, r *rand.Rand) Vector {
 }
 
 // Specify returns a fully specified copy of v where every X position is
-// replaced by fill.
+// replaced by fill, word-at-a-time (bits beyond the length stay zero so
+// word-wise Equal keeps working).
 func (v Vector) Specify(fill Trit) Vector {
 	if fill == X {
 		panic("tritvec: Specify fill must be 0 or 1")
 	}
 	c := v.Clone()
-	for i := 0; i < c.n; i++ {
-		if c.Get(i) == X {
-			c.Set(i, fill)
+	for i := range c.care {
+		k := c.n - i*64
+		mask := ^uint64(0)
+		if k < 64 {
+			mask = 1<<uint(k) - 1
 		}
+		if fill == One {
+			c.val[i] |= ^c.care[i] & mask
+		}
+		c.care[i] = mask
 	}
 	return c
 }
