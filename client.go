@@ -11,6 +11,7 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/testset"
 )
@@ -29,6 +30,15 @@ type Client struct {
 	BaseURL string
 	// HTTPClient overrides the transport; nil means http.DefaultClient.
 	HTTPClient *http.Client
+	// PollInterval is WaitJob's polling cadence; <= 0 means 250ms.
+	PollInterval time.Duration
+	// CallTimeout bounds the small control-plane calls (Health, Codecs)
+	// when the caller's context carries no deadline of its own, so a
+	// wedged daemon cannot hang a health probe forever. 0 means 10s;
+	// negative disables the default. Data-plane calls (Compress,
+	// Decompress, job submissions) are never bounded this way — they
+	// legitimately run as long as the data is large.
+	CallTimeout time.Duration
 }
 
 // NewClient returns a Client for the daemon at baseURL.
@@ -41,6 +51,19 @@ func (c *Client) httpClient() *http.Client {
 		return c.HTTPClient
 	}
 	return http.DefaultClient
+}
+
+// callCtx applies the control-plane CallTimeout default when the
+// caller's context has no deadline of its own.
+func (c *Client) callCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	if _, ok := ctx.Deadline(); ok || c.CallTimeout < 0 {
+		return ctx, func() {}
+	}
+	d := c.CallTimeout
+	if d == 0 {
+		d = 10 * time.Second
+	}
+	return context.WithTimeout(ctx, d)
 }
 
 // RemoteStats summarizes a remote compression, assembled from the
@@ -163,6 +186,15 @@ func (e *RemoteError) Is(target error) bool {
 	case ErrUnavailable:
 		return e.Code == "unavailable" ||
 			(e.Code == "" && e.Status == http.StatusServiceUnavailable)
+	case ErrJobNotFound:
+		return e.Code == "job_not_found" ||
+			(e.Code == "" && e.Status == http.StatusNotFound)
+	case ErrJobNotDone:
+		return e.Code == "job_not_done" ||
+			(e.Code == "" && e.Status == http.StatusConflict)
+	case ErrQueueFull:
+		return e.Code == "queue_full" ||
+			(e.Code == "" && e.Status == http.StatusTooManyRequests)
 	}
 	return false
 }
@@ -351,8 +383,11 @@ func (c *Client) DecompressSet(ctx context.Context, a *Artifact) (*TestSet, erro
 }
 
 // Codecs fetches the daemon's registry listing with per-codec parameter
-// schemas (GET /v1/codecs).
+// schemas (GET /v1/codecs). Without a caller deadline the call is
+// bounded by CallTimeout (default 10s).
 func (c *Client) Codecs(ctx context.Context) ([]CodecInfo, error) {
+	ctx, cancel := c.callCtx(ctx)
+	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/codecs", nil)
 	if err != nil {
 		return nil, err
@@ -370,8 +405,12 @@ func (c *Client) Codecs(ctx context.Context) ([]CodecInfo, error) {
 }
 
 // Health probes GET /healthz. It returns nil while the daemon accepts
-// new work and an error once it is unreachable or draining.
+// new work and an error once it is unreachable or draining. Without a
+// caller deadline the probe is bounded by CallTimeout (default 10s),
+// so a wedged daemon fails the probe instead of hanging it.
 func (c *Client) Health(ctx context.Context) error {
+	ctx, cancel := c.callCtx(ctx)
+	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/healthz", nil)
 	if err != nil {
 		return err

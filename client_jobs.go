@@ -1,0 +1,275 @@
+package tcomp
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+)
+
+// Async job API client — the remote twin of the daemon's /v1/jobs
+// endpoints. A submission uploads the input once, gets a job ID back
+// immediately, and the compression runs in the daemon's background
+// queue; the result stays fetchable from the daemon's content-addressed
+// artifact store (surviving a daemon restart when tcompd runs with
+// -store-dir) until it is removed or garbage-collected.
+//
+//	j, err := c.SubmitCompressJob(ctx, "golomb", patterns, tcomp.WithSeed(7))
+//	j, err = c.WaitJob(ctx, j.ID)
+//	if j.State == tcomp.JobDone {
+//		_, err = c.JobResult(ctx, j.ID, containerFile)
+//	}
+
+// Job states as the daemon reports them.
+const (
+	JobPending   = "pending"
+	JobRunning   = "running"
+	JobDone      = "done"
+	JobFailed    = "failed"
+	JobCancelled = "cancelled"
+)
+
+// Typed sentinels for the async job taxonomy, matched by errors.Is
+// against the *RemoteError a Client method returns:
+//
+//	ErrJobNotFound the job ID is unknown (never submitted, removed, or
+//	               its result artifact was garbage-collected) — HTTP
+//	               404 job_not_found
+//	ErrJobNotDone  the job exists but has no result yet (still queued
+//	               or running, failed, or cancelled) — HTTP 409
+//	               job_not_done
+//	ErrQueueFull   the daemon's job backlog is at capacity; retry
+//	               later — HTTP 429 queue_full
+var (
+	ErrJobNotFound = errors.New("tcomp: job not found on the daemon")
+	ErrJobNotDone  = errors.New("tcomp: job has not produced a result")
+	ErrQueueFull   = errors.New("tcomp: daemon job queue is full")
+)
+
+// JobSpec mirrors the daemon's job specification: what kind of work,
+// which codec and parameters, and the content address of the stored
+// input blob.
+type JobSpec struct {
+	Kind   string           `json:"kind"`
+	Codec  string           `json:"codec,omitempty"`
+	Format string           `json:"format,omitempty"`
+	Codecs []string         `json:"codecs,omitempty"`
+	Params map[string]int64 `json:"params,omitempty"`
+	Input  string           `json:"input"`
+}
+
+// JobProgress reports how far a running job has come, in patterns and
+// completed chunks.
+type JobProgress struct {
+	Patterns int `json:"patterns"`
+	Chunks   int `json:"chunks_completed"`
+}
+
+// JobStats is the size accounting of a finished job, mirroring the
+// X-Tcomp-* headers of the synchronous endpoints.
+type JobStats struct {
+	Patterns       int `json:"patterns"`
+	Chunks         int `json:"chunks"`
+	OriginalBits   int `json:"original_bits"`
+	CompressedBits int `json:"compressed_bits"`
+}
+
+// RatePercent returns the paper-style compression rate.
+func (s JobStats) RatePercent() float64 {
+	if s.OriginalBits == 0 {
+		return 0
+	}
+	return 100 * float64(s.OriginalBits-s.CompressedBits) / float64(s.OriginalBits)
+}
+
+// JobStatus is one job record as the daemon serves it.
+type JobStatus struct {
+	ID         string      `json:"id"`
+	Spec       JobSpec     `json:"spec"`
+	State      string      `json:"state"`
+	Created    time.Time   `json:"created"`
+	Started    time.Time   `json:"started"`
+	Finished   time.Time   `json:"finished"`
+	Progress   JobProgress `json:"progress"`
+	Output     string      `json:"output,omitempty"`
+	OutputSize int64       `json:"output_size,omitempty"`
+	Stats      *JobStats   `json:"stats,omitempty"`
+	Error      string      `json:"error,omitempty"`
+	// ErrorCode carries the taxonomy code of a failed job (e.g.
+	// "corrupt_container", "internal_panic"), so an async caller can
+	// classify the failure exactly like a synchronous one.
+	ErrorCode string `json:"error_code,omitempty"`
+}
+
+// Terminal reports whether the job has reached a final state.
+func (j *JobStatus) Terminal() bool {
+	switch j.State {
+	case JobDone, JobFailed, JobCancelled:
+		return true
+	}
+	return false
+}
+
+// SubmitCompressJob uploads the textual (or TSET binary) test set on
+// patterns and queues an asynchronous compression with the named codec.
+// The options travel as the same query parameters the synchronous
+// endpoint uses; format selects the container ("" or "v3" for the
+// chunked stream container, "v2" for the buffered form) via
+// SubmitCompressJobFormat. The returned record is in state "pending" —
+// poll with Job or WaitJob and fetch the container with JobResult.
+func (c *Client) SubmitCompressJob(ctx context.Context, codecName string, patterns io.Reader, opts ...Option) (*JobStatus, error) {
+	return c.SubmitCompressJobFormat(ctx, codecName, "", patterns, opts...)
+}
+
+// SubmitCompressJobFormat is SubmitCompressJob with an explicit
+// container format ("v2" or "v3"; "" means the daemon default, v3).
+func (c *Client) SubmitCompressJobFormat(ctx context.Context, codecName, format string, patterns io.Reader, opts ...Option) (*JobStatus, error) {
+	q := optionValues(opts)
+	q.Set("kind", "compress")
+	q.Set("codec", codecName)
+	if format != "" {
+		q.Set("format", format)
+	}
+	return c.submitJob(ctx, q, patterns, "text/plain")
+}
+
+// SubmitDecompressJob uploads a container (any version) and queues its
+// asynchronous expansion into textual patterns.
+func (c *Client) SubmitDecompressJob(ctx context.Context, container io.Reader) (*JobStatus, error) {
+	q := url.Values{}
+	q.Set("kind", "decompress")
+	return c.submitJob(ctx, q, container, "application/octet-stream")
+}
+
+// SubmitSweepJob uploads a test set and queues a rate sweep across the
+// named codecs; the job's result is a JSON report comparing their
+// compression rates on that input.
+func (c *Client) SubmitSweepJob(ctx context.Context, codecs []string, patterns io.Reader, opts ...Option) (*JobStatus, error) {
+	q := optionValues(opts)
+	q.Set("kind", "sweep")
+	q.Set("codecs", strings.Join(codecs, ","))
+	return c.submitJob(ctx, q, patterns, "text/plain")
+}
+
+func (c *Client) submitJob(ctx context.Context, q url.Values, body io.Reader, contentType string) (*JobStatus, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		c.BaseURL+"/v1/jobs?"+q.Encode(), body)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", contentType)
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return nil, apiError(resp)
+	}
+	return decodeJob(resp.Body)
+}
+
+// Job fetches the current record of one job (GET /v1/jobs/{id}).
+func (c *Client) Job(ctx context.Context, id string) (*JobStatus, error) {
+	resp, err := c.jobGet(ctx, "/v1/jobs/"+url.PathEscape(id))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	return decodeJob(resp.Body)
+}
+
+// Jobs lists every job the daemon knows, in submission order
+// (GET /v1/jobs).
+func (c *Client) Jobs(ctx context.Context) ([]JobStatus, error) {
+	resp, err := c.jobGet(ctx, "/v1/jobs")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var out []JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (c *Client) jobGet(ctx context.Context, path string) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	return c.do(req)
+}
+
+// CancelJob cancels an active job or removes a terminal one
+// (DELETE /v1/jobs/{id}); the returned record is the job's final state.
+func (c *Client) CancelJob(ctx context.Context, id string) (*JobStatus, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete,
+		c.BaseURL+"/v1/jobs/"+url.PathEscape(id), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	return decodeJob(resp.Body)
+}
+
+// JobResult streams a done job's output artifact into w
+// (GET /v1/jobs/{id}/result) and returns the job's size accounting. A
+// job without a result yet answers ErrJobNotDone; an unknown job or a
+// garbage-collected artifact answers ErrJobNotFound.
+func (c *Client) JobResult(ctx context.Context, id string, w io.Writer) (*RemoteStats, error) {
+	resp, err := c.jobGet(ctx, "/v1/jobs/"+url.PathEscape(id)+"/result")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if _, err := io.Copy(w, resp.Body); err != nil {
+		return nil, err
+	}
+	return remoteStats("", resp), nil
+}
+
+// WaitJob polls the job until it reaches a terminal state (done,
+// failed, or cancelled) and returns its final record; the caller
+// decides what a failed or cancelled job means. The poll interval is
+// PollInterval (default 250ms), and the context bounds the total wait.
+func (c *Client) WaitJob(ctx context.Context, id string) (*JobStatus, error) {
+	interval := c.PollInterval
+	if interval <= 0 {
+		interval = 250 * time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		j, err := c.Job(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if j.Terminal() {
+			return j, nil
+		}
+		select {
+		case <-ctx.Done():
+			return j, ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+func decodeJob(r io.Reader) (*JobStatus, error) {
+	var j JobStatus
+	if err := json.NewDecoder(r).Decode(&j); err != nil {
+		return nil, fmt.Errorf("tcomp: decoding job record: %w", err)
+	}
+	return &j, nil
+}

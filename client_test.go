@@ -8,9 +8,11 @@ import (
 	"bytes"
 	"context"
 	"math/rand"
+	"net"
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	tcomp "repro"
 	"repro/internal/serve"
@@ -19,7 +21,11 @@ import (
 
 func newDaemon(t *testing.T) (*serve.Server, *tcomp.Client) {
 	t.Helper()
-	s := serve.New(serve.Config{Workers: 2, CacheBytes: 1 << 20})
+	s, err := serve.New(serve.Config{Workers: 2, CacheBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = s.Close() })
 	hs := httptest.NewServer(s.Handler())
 	t.Cleanup(hs.Close)
 	return s, tcomp.NewClient(hs.URL + "/") // trailing slash must be tolerated
@@ -141,5 +147,30 @@ func TestClientErrors(t *testing.T) {
 	dead := tcomp.NewClient("http://127.0.0.1:1")
 	if err := dead.Health(ctx); err == nil {
 		t.Fatal("unreachable daemon reported healthy")
+	}
+}
+
+// TestClientCallTimeout: a daemon that accepts the connection but never
+// answers must fail the control-plane probes within CallTimeout, even
+// when the caller's context carries no deadline of its own.
+func TestClientCallTimeout(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close() // never Accept: connections sit in the backlog unanswered
+	c := tcomp.NewClient("http://" + ln.Addr().String())
+	c.CallTimeout = 50 * time.Millisecond
+	ctx := context.Background()
+
+	start := time.Now()
+	if err := c.Health(ctx); err == nil {
+		t.Fatal("wedged daemon reported healthy")
+	}
+	if _, err := c.Codecs(ctx); err == nil {
+		t.Fatal("wedged daemon listed codecs")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("probes took %v; CallTimeout did not bound them", elapsed)
 	}
 }

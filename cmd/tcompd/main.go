@@ -7,16 +7,22 @@
 // Usage:
 //
 //	tcompd -addr :8077 -workers 8 -cache-bytes 268435456
+//	tcompd -addr :8077 -store-dir /var/lib/tcompd  # durable async jobs
 //
 // Endpoints: POST /v1/compress, POST /v1/decompress, GET /v1/codecs,
-// GET /healthz, GET /metrics. See the README's Serving section for curl
-// examples.
+// POST/GET /v1/jobs (async job API), GET /healthz, GET /metrics. See
+// the README's Serving and Async jobs sections for curl examples.
+//
+// With -store-dir set, async job artifacts live in a content-addressed
+// on-disk store and job records in a journal next to it, so submitted
+// work and finished results survive a daemon restart. A background
+// sweeper applies -artifact-ttl and -artifact-quota.
 //
 // On SIGTERM or SIGINT the daemon drains gracefully: /healthz flips to
 // 503 so load balancers stop routing here, the listener stops accepting
 // new connections, every in-flight request runs to completion (bounded
-// by -drain-timeout), and the final metrics snapshot is flushed to
-// stderr.
+// by -drain-timeout), running jobs are parked back to pending in the
+// journal, and the final metrics snapshot is flushed to stderr.
 package main
 
 import (
@@ -29,9 +35,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
+	"repro/internal/artifact"
 	"repro/internal/serve"
 )
 
@@ -40,33 +48,79 @@ func main() {
 	log.SetPrefix("tcompd: ")
 	var (
 		addr          = flag.String("addr", ":8077", "listen address (host:port; port 0 picks an ephemeral port)")
-		workers       = flag.Int("workers", 0, "shared compression worker budget (0 = one per CPU); concurrent requests queue for these tokens instead of oversubscribing")
+		workers       = flag.Int("workers", 0, "shared compression worker budget (0 = one per CPU); concurrent requests and background jobs queue for these tokens instead of oversubscribing")
 		cacheBytes    = flag.Int64("cache-bytes", 256<<20, "content-addressed result cache capacity in bytes (0 disables)")
 		cacheInputCap = flag.Int64("cache-input-cap", 8<<20, "largest canonical input eligible for caching; bigger submissions stream through uncached")
 		maxBody       = flag.Int64("max-body", 1<<30, "request body cap in bytes")
 		drainTimeout  = flag.Duration("drain-timeout", 30*time.Second, "how long to wait for in-flight requests on shutdown")
 		portFile      = flag.String("portfile", "", "write the bound address to this file once listening (for smoke tests and supervisors)")
+
+		storeDir      = flag.String("store-dir", "", "artifact store root for async jobs; empty keeps artifacts and job records in memory only")
+		artifactTTL   = flag.Duration("artifact-ttl", 24*time.Hour, "delete artifacts unused for this long (0 disables TTL expiry)")
+		artifactQuota = flag.Int64("artifact-quota", 4<<30, "artifact store size bound in bytes; least-recently-used blobs are evicted above it (0 disables)")
+		gcInterval    = flag.Duration("gc-interval", 5*time.Minute, "how often the artifact GC sweeper runs")
+		maxJobs       = flag.Int("max-jobs", 64, "async job backlog bound; submissions beyond it answer 429 queue_full")
+		jobWorkers    = flag.Int("job-workers", 2, "concurrently running background jobs (they also hold shared worker tokens while running)")
 	)
 	flag.Parse()
 
-	s := serve.New(serve.Config{
+	cfg := serve.Config{
 		Workers:         *workers,
 		CacheBytes:      *cacheBytes,
 		CacheInputBytes: *cacheInputCap,
 		MaxBodyBytes:    *maxBody,
-	})
+		MaxQueuedJobs:   *maxJobs,
+		JobWorkers:      *jobWorkers,
+	}
+	var store *artifact.DiskStore
+	if *storeDir != "" {
+		var err error
+		store, err = artifact.NewDiskStore(filepath.Join(*storeDir, "artifacts"))
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.JobStore = store
+		cfg.JobDir = filepath.Join(*storeDir, "jobs")
+	}
+	s, err := serve.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           s.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
+	// The artifact GC sweeper: TTL first, then the LRU quota pass. Only
+	// meaningful for the durable store — the in-memory store dies with
+	// the process anyway.
+	gcStop := make(chan struct{})
+	if store != nil && *gcInterval > 0 {
+		go func() {
+			t := time.NewTicker(*gcInterval)
+			defer t.Stop()
+			for {
+				select {
+				case <-gcStop:
+					return
+				case now := <-t.C:
+					st := store.Sweep(now, *artifactTTL, *artifactQuota)
+					if st.Expired+st.Evicted > 0 {
+						log.Printf("artifact gc: expired %d, evicted %d, freed %d bytes (store now %d blobs / %d bytes)",
+							st.Expired, st.Evicted, st.FreedBytes, store.Len(), store.Bytes())
+					}
+				}
+			}
+		}()
+	}
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("listening on %s (workers %d, cache %d MiB)",
-		ln.Addr(), s.WorkerBudget(), *cacheBytes>>20)
+	log.Printf("listening on %s (workers %d, cache %d MiB, store %q)",
+		ln.Addr(), s.WorkerBudget(), *cacheBytes>>20, *storeDir)
 	if *portFile != "" {
 		if err := os.WriteFile(*portFile, []byte(ln.Addr().String()), 0o644); err != nil {
 			log.Fatal(err)
@@ -74,7 +128,7 @@ func main() {
 	}
 
 	// Serve until SIGTERM/SIGINT, then drain: stop accepting, let
-	// in-flight requests finish, flush metrics.
+	// in-flight requests finish, park running jobs, flush metrics.
 	idle := make(chan struct{})
 	go func() {
 		defer close(idle)
@@ -94,6 +148,10 @@ func main() {
 		log.Fatal(err)
 	}
 	<-idle
+	close(gcStop)
+	if err := s.Close(); err != nil {
+		log.Printf("stopping job manager: %v", err)
+	}
 	fmt.Fprintln(os.Stderr, s.Metrics().String())
 	log.Print("drained; bye")
 }

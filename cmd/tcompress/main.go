@@ -9,6 +9,7 @@
 //	tcompress -in tests.txt -method 9c -k 8 -stats
 //	tcompress -stream -method fdr < tests.txt > tests.tcmp
 //	tcompress -remote http://localhost:8077 -method golomb < tests.txt > tests.tcmp
+//	tcompress -remote http://localhost:8077 -async -method golomb < tests.txt > tests.tcmp
 //	tcompress -list
 //
 // With -remote the compression is delegated to a tcompd daemon: the
@@ -65,6 +66,7 @@ func main() {
 		stream  = flag.Bool("stream", false, "stream textual patterns through the chunked container format at O(chunk) memory (default stdin to stdout)")
 		chunk   = flag.Int("chunk", 0, "patterns per stream chunk (0 = about 1 Mbit of original data per chunk)")
 		remote  = flag.String("remote", "", "delegate compression to a tcompd daemon at this base URL (output is a chunked stream container)")
+		async   = flag.Bool("async", false, "with -remote: submit as a background job, poll until done, then fetch the result (survives a daemon restart mid-run)")
 	)
 	flag.Parse()
 
@@ -127,8 +129,15 @@ func main() {
 	}
 
 	if *remote != "" {
-		runRemote(ctx, *remote, r, *out, *method, opts)
+		if *async {
+			runAsync(ctx, *remote, r, *out, *method, opts)
+		} else {
+			runRemote(ctx, *remote, r, *out, *method, opts)
+		}
 		return
+	}
+	if *async {
+		log.Fatal("-async needs -remote (it is a daemon job submission)")
 	}
 
 	if *stream {
@@ -243,6 +252,43 @@ func remoteHint(err error) string {
 		return fmt.Sprintf("%v (daemon bug, contained server-side; see the daemon log for the stack)", err)
 	}
 	return err.Error()
+}
+
+// runAsync submits the input as a daemon background job, polls until it
+// reaches a terminal state, and fetches the result container. Unlike the
+// synchronous path, the work survives a daemon restart mid-run: the
+// daemon re-queues the job and this poll loop keeps waiting.
+func runAsync(ctx context.Context, base string, r io.Reader, out, method string, opts []tcomp.Option) {
+	var w io.Writer = os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	c := tcomp.NewClient(base)
+	j, err := c.SubmitCompressJob(ctx, method, r, opts...)
+	if err != nil {
+		if errors.Is(err, tcomp.ErrQueueFull) {
+			log.Fatalf("%v (the daemon's job backlog is at capacity; retry later or raise tcompd -max-jobs)", err)
+		}
+		log.Fatal(remoteHint(err))
+	}
+	fmt.Fprintf(os.Stderr, "submitted job %s (%s)\n", j.ID, base)
+	if j, err = c.WaitJob(ctx, j.ID); err != nil {
+		log.Fatal(remoteHint(err))
+	}
+	if j.State != tcomp.JobDone {
+		log.Fatalf("job %s ended %s: %s (%s)", j.ID, j.State, j.Error, j.ErrorCode)
+	}
+	stats, err := c.JobResult(ctx, j.ID, w)
+	if err != nil {
+		log.Fatal(remoteHint(err))
+	}
+	fmt.Fprintf(os.Stderr, "%s: rate %.2f%% (%d -> %d bits), %d patterns in %d chunks (job %s)\n",
+		method, stats.RatePercent(), stats.OriginalBits, stats.CompressedBits, stats.Patterns, stats.Chunks, j.ID)
 }
 
 // runRemote streams the input through a tcompd daemon and writes the

@@ -12,10 +12,13 @@
 //	tdecompress -in tests.tcmp -out expanded.txt [-verify tests.txt]
 //	tdecompress -stream < tests.tcmp > expanded.txt
 //	tdecompress -remote http://localhost:8077 < tests.tcmp > expanded.txt
+//	tdecompress -remote http://localhost:8077 -async < tests.tcmp > expanded.txt
 //
 // With -remote the expansion is delegated to a tcompd daemon: the
 // container streams up, the textual patterns stream back, and -verify
-// still checks the result locally against the original.
+// still checks the result locally against the original. Adding -async
+// submits the expansion as a background job instead and polls until it
+// is done — the work survives a daemon restart mid-run.
 package main
 
 import (
@@ -46,8 +49,12 @@ func main() {
 		fsm    = flag.Bool("fsm", false, "decode through the hardware FSM model and report cycles (block codecs only)")
 		stream = flag.Bool("stream", false, "expand a chunked stream container pattern-by-pattern at O(chunk) memory")
 		remote = flag.String("remote", "", "delegate decompression to a tcompd daemon at this base URL")
+		async  = flag.Bool("async", false, "with -remote: submit as a background job, poll until done, then fetch the patterns")
 	)
 	flag.Parse()
+	if *async && *remote == "" {
+		log.Fatal("-async needs -remote (it is a daemon job submission)")
+	}
 
 	var r io.Reader = os.Stdin
 	if *in != "" {
@@ -63,7 +70,11 @@ func main() {
 		if *fsm {
 			log.Fatal("-fsm decodes locally; it cannot be combined with -remote")
 		}
-		runRemote(*remote, bufio.NewReader(r), *out, *verify)
+		if *async {
+			runAsync(*remote, bufio.NewReader(r), *out, *verify)
+		} else {
+			runRemote(*remote, bufio.NewReader(r), *out, *verify)
+		}
 		return
 	}
 
@@ -202,6 +213,48 @@ func remoteHint(err error) string {
 		return fmt.Sprintf("%v (daemon bug, contained server-side; see the daemon log for the stack)", err)
 	}
 	return err.Error()
+}
+
+// runAsync submits the container as a daemon background job, polls
+// until it is done, and fetches the textual patterns; -verify still
+// runs locally while the result streams down.
+func runAsync(base string, r io.Reader, out, verify string) {
+	ctx := context.Background()
+	c := tcomp.NewClient(base)
+	j, err := c.SubmitDecompressJob(ctx, r)
+	if err != nil {
+		if errors.Is(err, tcomp.ErrQueueFull) {
+			log.Fatalf("%v (the daemon's job backlog is at capacity; retry later or raise tcompd -max-jobs)", err)
+		}
+		log.Fatal(remoteHint(err))
+	}
+	fmt.Fprintf(os.Stderr, "submitted job %s (%s)\n", j.ID, base)
+	if j, err = c.WaitJob(ctx, j.ID); err != nil {
+		log.Fatal(remoteHint(err))
+	}
+	if j.State != tcomp.JobDone {
+		log.Fatalf("job %s ended %s: %s (%s)", j.ID, j.State, j.Error, j.ErrorCode)
+	}
+	errAborted := errors.New("tdecompress: result fetch aborted")
+	pr, pw := io.Pipe()
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.JobResult(ctx, j.ID, pw)
+		pw.CloseWithError(err)
+		done <- err
+	}()
+	drainRemote := func(localErr error) string {
+		pr.CloseWithError(errAborted)
+		if derr := <-done; derr != nil && !errors.Is(derr, errAborted) {
+			return remoteHint(derr)
+		}
+		return localErr.Error()
+	}
+	sc, err := testset.NewScanner(pr)
+	if err != nil {
+		log.Fatal(drainRemote(err))
+	}
+	expandStream(sc.Width(), sc.Next, out, verify, drainRemote)
 }
 
 // runRemote delegates expansion to a tcompd daemon, streaming the

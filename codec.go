@@ -216,6 +216,43 @@ func LookupParamRange(query string) (r ParamRange, ok bool) {
 	return r, ok
 }
 
+// paramOrder lists every daemon query parameter in canonical order. It
+// is the single list the wire layers iterate: the synchronous tcompd
+// validator, the async job runner, and the client's option-to-query
+// translation all resolve keys through OptionForParam, so a parameter
+// accepted anywhere resolves to the same functional option everywhere.
+var paramOrder = []string{"seed", "k", "l", "runs", "workers", "m", "d", "b", "chunk"}
+
+// ParamKeys returns the daemon query parameter keys OptionForParam
+// understands, in canonical order. Callers must not mutate the result.
+func ParamKeys() []string { return paramOrder }
+
+// OptionForParam maps a daemon query parameter and its value onto the
+// functional option it names. ok is false for unknown keys.
+func OptionForParam(key string, v int64) (Option, bool) {
+	switch key {
+	case "seed":
+		return WithSeed(v), true
+	case "k":
+		return WithBlockLen(int(v)), true
+	case "l":
+		return WithMVCount(int(v)), true
+	case "runs":
+		return WithRuns(int(v)), true
+	case "workers":
+		return WithWorkers(int(v)), true
+	case "m":
+		return WithGolombM(int(v)), true
+	case "d":
+		return WithDictSize(int(v)), true
+	case "b":
+		return WithCounterWidth(int(v)), true
+	case "chunk":
+		return WithChunkPatterns(int(v)), true
+	}
+	return nil, false
+}
+
 // CodecInfo is one entry of the registry listing served by
 // GET /v1/codecs: the codec name plus its parameter schema.
 type CodecInfo struct {
@@ -225,8 +262,10 @@ type CodecInfo struct {
 
 // Shared parameter rows, reused across the codecs that read them.
 var (
-	paramSeed    = CodecParam{Query: "seed", Option: "WithSeed", Type: "int64", Default: "1", Description: "random seed; the root of the per-chunk derivation in streaming mode"}
-	paramK       = func(def string) CodecParam { return CodecParam{Query: "k", Option: "WithBlockLen", Type: "int", Default: def, Description: "input block length K"} }
+	paramSeed = CodecParam{Query: "seed", Option: "WithSeed", Type: "int64", Default: "1", Description: "random seed; the root of the per-chunk derivation in streaming mode"}
+	paramK    = func(def string) CodecParam {
+		return CodecParam{Query: "k", Option: "WithBlockLen", Type: "int", Default: def, Description: "input block length K"}
+	}
 	paramWorkers = CodecParam{Query: "workers", Option: "WithWorkers", Type: "int", Default: "0", Description: "parallelism bound (0 = one per CPU; results identical at any setting)"}
 )
 

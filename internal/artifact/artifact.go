@@ -1,0 +1,169 @@
+// Package artifact is the durable half of the serving stack: a
+// content-addressed blob store keyed by the SHA-256 of the bytes
+// themselves. The same determinism argument that makes the serve result
+// cache sound (compressed output is a pure function of input and
+// parameters) makes content addressing the natural durable key — two
+// identical submissions, or two identical results, collapse to one blob
+// and a repeat Put costs nothing but the hash.
+//
+// Two implementations share the Store interface: DiskStore, the
+// production store behind tcompd's async job API (sharded directory
+// layout, atomic tmp+rename writes, digests re-verified on read,
+// TTL/quota garbage collection), and MemStore for tests and for servers
+// that want the layering without the disk.
+//
+// Garbage collection is a pull model: Sweep(now, ttl, quota) applies the
+// TTL (by last-use time) and then the size quota (LRU by last use) in
+// one pass. The daemon drives it on a timer; tests drive it with an
+// explicit clock.
+package artifact
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Digest is the content address of a blob: the lowercase hex SHA-256 of
+// its bytes, 64 characters.
+type Digest string
+
+// SumBytes returns the digest of an in-memory blob.
+func SumBytes(b []byte) Digest {
+	sum := sha256.Sum256(b)
+	return Digest(hex.EncodeToString(sum[:]))
+}
+
+// ParseDigest validates an externally supplied digest string (a job
+// journal field, an API path segment) before it is used as a store key
+// or a path component.
+func ParseDigest(s string) (Digest, error) {
+	if len(s) != sha256.Size*2 {
+		return "", fmt.Errorf("artifact: digest %q: want %d hex characters, have %d", s, sha256.Size*2, len(s))
+	}
+	if _, err := hex.DecodeString(s); err != nil {
+		return "", fmt.Errorf("artifact: digest %q is not hex: %v", s, err)
+	}
+	return Digest(s), nil
+}
+
+// Valid reports whether d is a well-formed digest.
+func (d Digest) Valid() bool {
+	_, err := ParseDigest(string(d))
+	return err == nil
+}
+
+// Sentinel errors of the store contract.
+var (
+	// ErrNotFound: the digest names no stored blob (never stored, deleted,
+	// or collected by GC).
+	ErrNotFound = errors.New("artifact: blob not found")
+	// ErrCorrupt: the stored bytes no longer hash to their digest (bit
+	// rot, a truncated write that survived a crash, manual tampering).
+	// DiskStore readers verify on read and return it from the final Read;
+	// the blob should be deleted and the content re-derived.
+	ErrCorrupt = errors.New("artifact: blob corrupt (content does not match digest)")
+)
+
+// Info describes one stored blob.
+type Info struct {
+	Digest Digest
+	Size   int64
+	// LastUsed is the blob's GC clock: set at Put and refreshed by every
+	// Open. TTL expiry and LRU quota eviction both key off it.
+	LastUsed time.Time
+}
+
+// Store is a content-addressed blob store. Implementations are safe for
+// concurrent use.
+type Store interface {
+	// Put stores the reader's bytes and returns their digest and size.
+	// Storing bytes that already exist refreshes their LastUsed time and
+	// is otherwise a cheap no-op. A read error from r aborts the write
+	// (no partial blob becomes visible) and is returned unwrapped, so
+	// callers can classify the producer's failure.
+	Put(r io.Reader) (Digest, int64, error)
+	// Open returns a reader over the blob and refreshes its LastUsed
+	// time. DiskStore readers re-verify the digest as the bytes stream
+	// out: a mismatch surfaces as ErrCorrupt from the read that would
+	// otherwise have returned io.EOF.
+	Open(d Digest) (io.ReadCloser, error)
+	// Stat returns the blob's metadata without touching LastUsed.
+	Stat(d Digest) (Info, error)
+	// Delete removes the blob. Deleting an absent digest returns
+	// ErrNotFound.
+	Delete(d Digest) error
+	// Sweep applies TTL and quota GC as of now: blobs whose LastUsed is
+	// older than ttl are deleted (ttl <= 0 disables the TTL pass), then
+	// least-recently-used blobs are evicted until total size fits quota
+	// (quota <= 0 disables the quota pass). It returns what it freed.
+	Sweep(now time.Time, ttl time.Duration, quota int64) SweepStats
+	// Len returns the number of stored blobs.
+	Len() int
+	// Bytes returns the total stored size.
+	Bytes() int64
+}
+
+// SweepStats reports one GC pass.
+type SweepStats struct {
+	Expired    int   // blobs deleted by the TTL pass
+	Evicted    int   // blobs deleted by the quota pass
+	FreedBytes int64 // total bytes released
+}
+
+// entry is the in-memory index record both stores share.
+type entry struct {
+	size     int64
+	lastUsed time.Time
+}
+
+// sweepIndex runs the shared TTL+quota policy over an index map,
+// calling remove for every victim (the caller deletes the bytes and
+// drops the index entry under its own lock). It returns the stats.
+func sweepIndex(index map[Digest]*entry, total int64, now time.Time, ttl time.Duration, quota int64, remove func(Digest)) SweepStats {
+	var st SweepStats
+	if ttl > 0 {
+		cutoff := now.Add(-ttl)
+		for d, e := range index {
+			if e.lastUsed.Before(cutoff) {
+				st.Expired++
+				st.FreedBytes += e.size
+				total -= e.size
+				remove(d)
+			}
+		}
+	}
+	if quota > 0 && total > quota {
+		// LRU by LastUsed: collect survivors and evict oldest-first until
+		// the quota holds.
+		type cand struct {
+			d Digest
+			e *entry
+		}
+		cands := make([]cand, 0, len(index))
+		for d, e := range index {
+			cands = append(cands, cand{d, e})
+		}
+		// Insertion sort by lastUsed ascending: n is small (the index fits
+		// in memory by construction) and this avoids importing sort for a
+		// type-local comparator on old Go versions.
+		for i := 1; i < len(cands); i++ {
+			for j := i; j > 0 && cands[j].e.lastUsed.Before(cands[j-1].e.lastUsed); j-- {
+				cands[j], cands[j-1] = cands[j-1], cands[j]
+			}
+		}
+		for _, c := range cands {
+			if total <= quota {
+				break
+			}
+			st.Evicted++
+			st.FreedBytes += c.e.size
+			total -= c.e.size
+			remove(c.d)
+		}
+	}
+	return st
+}

@@ -1,0 +1,273 @@
+package artifact
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"hash"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// DiskStore is the local-disk Store: blobs live under
+//
+//	<dir>/ab/abcdef...  (first byte of the digest shards the directory)
+//
+// with writes staged in <dir>/tmp and published by an atomic rename, so
+// a crash mid-Put never leaves a partial blob visible, and two
+// concurrent Puts of the same content race harmlessly to one file.
+// Every Open returns a reader that re-hashes the bytes as they stream
+// out and fails the final read with ErrCorrupt on a mismatch — the
+// durable layer never silently serves rotted bytes.
+//
+// The index (digest → size, last-use time) is kept in memory and
+// rebuilt by walking the directory at construction, so a daemon restart
+// re-discovers every blob; last-use times persist via file mtimes
+// (best-effort — a filesystem that refuses Chtimes degrades to
+// process-lifetime recency).
+type DiskStore struct {
+	dir string
+
+	mu    sync.Mutex
+	index map[Digest]*entry
+	total int64
+}
+
+// NewDiskStore opens (or creates) a blob store rooted at dir and
+// re-indexes any blobs already present.
+func NewDiskStore(dir string) (*DiskStore, error) {
+	if err := os.MkdirAll(filepath.Join(dir, "tmp"), 0o755); err != nil {
+		return nil, fmt.Errorf("artifact: creating store: %w", err)
+	}
+	s := &DiskStore{dir: dir, index: map[Digest]*entry{}}
+	if err := s.reindex(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Dir returns the store's root directory.
+func (s *DiskStore) Dir() string { return s.dir }
+
+// reindex walks the shard directories and rebuilds the in-memory index.
+// Stray files that are not well-formed blob names (editor droppings,
+// interrupted temp files an old process leaked into a shard) are
+// ignored rather than deleted: the store only ever removes files it can
+// account for.
+func (s *DiskStore) reindex() error {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return fmt.Errorf("artifact: reindex: %w", err)
+	}
+	for _, shard := range entries {
+		if !shard.IsDir() || len(shard.Name()) != 2 {
+			continue
+		}
+		if _, err := hex.DecodeString(shard.Name()); err != nil {
+			continue
+		}
+		files, err := os.ReadDir(filepath.Join(s.dir, shard.Name()))
+		if err != nil {
+			return fmt.Errorf("artifact: reindex shard %s: %w", shard.Name(), err)
+		}
+		for _, f := range files {
+			d, err := ParseDigest(f.Name())
+			if err != nil || string(d)[:2] != shard.Name() {
+				continue
+			}
+			fi, err := f.Info()
+			if err != nil {
+				continue // vanished mid-walk
+			}
+			s.index[d] = &entry{size: fi.Size(), lastUsed: fi.ModTime()}
+			s.total += fi.Size()
+		}
+	}
+	return nil
+}
+
+func (s *DiskStore) blobPath(d Digest) string {
+	return filepath.Join(s.dir, string(d)[:2], string(d))
+}
+
+// Put streams r to a temp file while hashing, then publishes it under
+// its digest with one atomic rename.
+func (s *DiskStore) Put(r io.Reader) (Digest, int64, error) {
+	f, err := os.CreateTemp(filepath.Join(s.dir, "tmp"), "put-*")
+	if err != nil {
+		return "", 0, fmt.Errorf("artifact: staging blob: %w", err)
+	}
+	tmp := f.Name()
+	discard := func() {
+		_ = f.Close()      // best-effort cleanup path
+		_ = os.Remove(tmp) // ditto
+	}
+	h := sha256.New()
+	n, err := io.Copy(io.MultiWriter(f, h), r)
+	if err != nil {
+		discard()
+		return "", 0, err // the producer's error is the story; keep it unwrapped
+	}
+	if err := f.Close(); err != nil {
+		_ = os.Remove(tmp) // best-effort
+		return "", 0, fmt.Errorf("artifact: flushing blob: %w", err)
+	}
+	d := Digest(hex.EncodeToString(h.Sum(nil)))
+	now := time.Now()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.index[d]; ok {
+		// Already stored: content addressing makes this a pure recency
+		// refresh. The staged copy is byte-identical by construction.
+		e.lastUsed = now
+		_ = os.Remove(tmp)                      // duplicate staging file
+		_ = os.Chtimes(s.blobPath(d), now, now) // best-effort mtime persistence
+		return d, n, nil
+	}
+	dst := s.blobPath(d)
+	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+		_ = os.Remove(tmp) // best-effort
+		return "", 0, fmt.Errorf("artifact: creating shard: %w", err)
+	}
+	if err := os.Rename(tmp, dst); err != nil {
+		_ = os.Remove(tmp) // best-effort
+		return "", 0, fmt.Errorf("artifact: publishing blob: %w", err)
+	}
+	s.index[d] = &entry{size: n, lastUsed: now}
+	s.total += n
+	return d, n, nil
+}
+
+// Open returns a digest-verifying reader over the blob and refreshes
+// its last-use time.
+func (s *DiskStore) Open(d Digest) (io.ReadCloser, error) {
+	s.mu.Lock()
+	e, ok := s.index[d]
+	if ok {
+		e.lastUsed = time.Now()
+	}
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("artifact: open %s: %w", short(d), ErrNotFound)
+	}
+	f, err := os.Open(s.blobPath(d))
+	if err != nil {
+		// Index and directory disagree (external deletion). Heal the index
+		// and report the honest state.
+		s.drop(d)
+		return nil, fmt.Errorf("artifact: open %s: %w", short(d), ErrNotFound)
+	}
+	now := time.Now()
+	_ = os.Chtimes(s.blobPath(d), now, now) // best-effort mtime persistence
+	return &verifyReader{f: f, h: sha256.New(), want: d, size: e.size}, nil
+}
+
+// Stat returns the blob's metadata without touching recency.
+func (s *DiskStore) Stat(d Digest) (Info, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.index[d]
+	if !ok {
+		return Info{}, fmt.Errorf("artifact: stat %s: %w", short(d), ErrNotFound)
+	}
+	return Info{Digest: d, Size: e.size, LastUsed: e.lastUsed}, nil
+}
+
+// Delete removes the blob and its index entry.
+func (s *DiskStore) Delete(d Digest) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.index[d]
+	if !ok {
+		return fmt.Errorf("artifact: delete %s: %w", short(d), ErrNotFound)
+	}
+	delete(s.index, d)
+	s.total -= e.size
+	if err := os.Remove(s.blobPath(d)); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("artifact: delete %s: %w", short(d), err)
+	}
+	return nil
+}
+
+// drop removes an index entry whose file is already gone.
+func (s *DiskStore) drop(d Digest) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.index[d]; ok {
+		delete(s.index, d)
+		s.total -= e.size
+	}
+}
+
+// Sweep applies TTL expiry and LRU quota eviction.
+func (s *DiskStore) Sweep(now time.Time, ttl time.Duration, quota int64) SweepStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return sweepIndex(s.index, s.total, now, ttl, quota, func(d Digest) {
+		e := s.index[d]
+		delete(s.index, d)
+		s.total -= e.size
+		_ = os.Remove(s.blobPath(d)) // best-effort: a straggler is re-indexed, never corrupt
+	})
+}
+
+// Len returns the number of stored blobs.
+func (s *DiskStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.index)
+}
+
+// Bytes returns the total stored size.
+func (s *DiskStore) Bytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.total
+}
+
+// short renders a digest prefix for error messages.
+func short(d Digest) string {
+	if len(d) > 12 {
+		return string(d)[:12]
+	}
+	return string(d)
+}
+
+// verifyReader re-hashes a blob as it streams out. The final read —
+// the one that would return io.EOF — compares size and digest and
+// returns ErrCorrupt instead if the bytes on disk no longer match their
+// address, so no consumer can take rotted content for valid.
+type verifyReader struct {
+	f    *os.File
+	h    hash.Hash
+	want Digest
+	size int64
+	read int64
+	done bool
+}
+
+func (v *verifyReader) Read(p []byte) (int, error) {
+	if v.done {
+		return 0, io.EOF
+	}
+	n, err := v.f.Read(p)
+	v.read += int64(n)
+	v.h.Write(p[:n])
+	if err == io.EOF {
+		v.done = true
+		if v.read != v.size || Digest(hex.EncodeToString(v.h.Sum(nil))) != v.want {
+			return n, fmt.Errorf("artifact: reading %s: %w", short(v.want), ErrCorrupt)
+		}
+		if n > 0 {
+			return n, nil // clean EOF on the next call
+		}
+		return 0, io.EOF
+	}
+	return n, err
+}
+
+func (v *verifyReader) Close() error { return v.f.Close() }

@@ -1,0 +1,715 @@
+// Package jobs turns the engine's synchronous compress/decompress calls
+// into durable background work: a Manager accepts job specs over a
+// bounded queue, runs them on a pipeline.Ordered worker pool under the
+// daemon's shared Limiter (jobs and interactive requests draw from one
+// worker budget), and journals every state transition to disk so a
+// daemon restart recovers the queue — finished outputs stay fetchable
+// from the artifact store until GC, unfinished work is re-queued and
+// runs again.
+//
+// The job state machine:
+//
+//	pending ──▶ running ──▶ done
+//	   │           ├──────▶ failed     (error + taxonomy code)
+//	   └───────────┴──────▶ cancelled  (user cancel)
+//
+// A daemon shutdown is not a transition: running jobs are parked back to
+// pending in the journal and resume from scratch on the next start —
+// sound because compression is a pure function of (input blob,
+// parameters), so a re-run produces the identical output blob.
+//
+// Inputs and outputs live in a content-addressed artifact.Store and jobs
+// reference them by digest only, so identical submissions share one
+// input blob and identical results collapse to one output blob.
+package jobs
+
+import (
+	"context"
+	crand "crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	tcomp "repro"
+	"repro/internal/artifact"
+	"repro/internal/pipeline"
+)
+
+// Kind names the work a job performs.
+type Kind string
+
+// The job kinds.
+const (
+	// KindCompress compresses a test-set blob (textual patterns or TSET
+	// binary) into a container (v3 chunked by default, v2 on request).
+	KindCompress Kind = "compress"
+	// KindDecompress expands a container blob (v1/v2/v3 auto-detected)
+	// into textual patterns.
+	KindDecompress Kind = "decompress"
+	// KindSweep streams one test-set blob through several codecs and
+	// produces a JSON rate report instead of a container.
+	KindSweep Kind = "sweep"
+)
+
+// State is a job's position in the lifecycle.
+type State string
+
+// The job states.
+const (
+	StatePending   State = "pending"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Spec is what a client submits: the kind of work, the codec parameters,
+// and the content address of the input blob (already stored).
+type Spec struct {
+	Kind   Kind             `json:"kind"`
+	Codec  string           `json:"codec,omitempty"`
+	Format string           `json:"format,omitempty"` // compress: "v2" or "v3" (default)
+	Codecs []string         `json:"codecs,omitempty"` // sweep: the codecs to compare
+	Params map[string]int64 `json:"params,omitempty"`
+	Input  artifact.Digest  `json:"input"`
+}
+
+// Progress reports how far a running job has come.
+type Progress struct {
+	Patterns int `json:"patterns"`
+	Chunks   int `json:"chunks_completed"`
+}
+
+// Stats is the size accounting of a finished job, mirroring the
+// X-Tcomp-* headers of the synchronous endpoints.
+type Stats struct {
+	Patterns       int `json:"patterns"`
+	Chunks         int `json:"chunks"`
+	OriginalBits   int `json:"original_bits"`
+	CompressedBits int `json:"compressed_bits"`
+}
+
+// Job is one job record — the unit the journal persists and the API
+// serves.
+type Job struct {
+	ID         string          `json:"id"`
+	Spec       Spec            `json:"spec"`
+	State      State           `json:"state"`
+	Created    time.Time       `json:"created"`
+	Started    time.Time       `json:"started"`
+	Finished   time.Time       `json:"finished"`
+	Progress   Progress        `json:"progress"`
+	Output     artifact.Digest `json:"output,omitempty"`
+	OutputSize int64           `json:"output_size,omitempty"`
+	Stats      *Stats          `json:"stats,omitempty"`
+	Error      string          `json:"error,omitempty"`
+	// ErrorCode carries the HTTP taxonomy code of a failed job (the code
+	// the synchronous endpoint would have answered with), so an async
+	// client can classify the failure exactly like a sync one.
+	ErrorCode string `json:"error_code,omitempty"`
+}
+
+// Sentinel errors of the Manager API.
+var (
+	// ErrNotFound: no job with that ID (never submitted, or removed).
+	ErrNotFound = errors.New("jobs: job not found")
+	// ErrQueueFull: the pending backlog is at MaxQueued; retry later.
+	ErrQueueFull = errors.New("jobs: queue full")
+	// ErrNotDone: the job has not produced a result (still pending or
+	// running, or it failed / was cancelled).
+	ErrNotDone = errors.New("jobs: job not done")
+	// ErrActive: the operation needs a terminal job (Remove on a pending
+	// or running job).
+	ErrActive = errors.New("jobs: job still active")
+	// ErrGone: the job finished but its result artifact has been
+	// garbage-collected from the store.
+	ErrGone = errors.New("jobs: result artifact no longer available")
+	// ErrClosed: the manager is shutting down.
+	ErrClosed = errors.New("jobs: manager closed")
+)
+
+// Config tunes a Manager.
+type Config struct {
+	// Store holds job inputs and outputs. Required.
+	Store artifact.Store
+	// Dir is the journal directory; every state transition is persisted
+	// as <Dir>/<id>.json so jobs survive a restart. "" keeps jobs in
+	// memory only (tests, ephemeral daemons).
+	Dir string
+	// Workers bounds concurrently running jobs. <= 0 means GOMAXPROCS.
+	Workers int
+	// MaxQueued bounds the pending backlog; Submit beyond it returns
+	// ErrQueueFull. <= 0 means 64.
+	MaxQueued int
+	// Limiter is the worker budget jobs share with the rest of the
+	// daemon: a job holds one token for its entire execution, exactly
+	// like a synchronous request. Nil means the process-wide default.
+	Limiter *pipeline.Limiter
+	// ErrorCode classifies a failed job's error into the HTTP taxonomy.
+	// Nil means the built-in classifier (contained panics are
+	// internal_panic, bad decompress input is corrupt_container,
+	// everything else is unprocessable).
+	ErrorCode func(kind Kind, err error) string
+	// Observe, when set, is called (without locks held) with a snapshot
+	// after every state transition of a live job — the daemon's metrics
+	// hook. Journal recovery does not replay old transitions.
+	Observe func(j Job)
+}
+
+// state is the Manager's record of one job.
+type state struct {
+	job       Job
+	cancel    context.CancelFunc // set while running
+	cancelled bool               // user asked for cancellation
+}
+
+// Manager owns the queue, the runners, and the journal.
+type Manager struct {
+	cfg  Config
+	lim  *pipeline.Limiter
+	ctx  context.Context
+	stop context.CancelFunc
+
+	queue  chan string
+	pumped chan struct{}
+	ord    *pipeline.Ordered[struct{}]
+
+	mu      sync.Mutex
+	jobs    map[string]*state
+	order   []string // creation order, for List
+	closing bool
+}
+
+// NewManager loads the journal (if cfg.Dir is set), re-queues unfinished
+// jobs, and starts the worker pool.
+func NewManager(cfg Config) (*Manager, error) {
+	if cfg.Store == nil {
+		return nil, errors.New("jobs: Config.Store is required")
+	}
+	if cfg.MaxQueued <= 0 {
+		cfg.MaxQueued = 64
+	}
+	if cfg.ErrorCode == nil {
+		cfg.ErrorCode = defaultErrorCode
+	}
+	lim := cfg.Limiter
+	if lim == nil {
+		lim = pipeline.Default()
+	}
+	ctx, stop := context.WithCancel(context.Background())
+	m := &Manager{
+		cfg:    cfg,
+		lim:    lim,
+		ctx:    ctx,
+		stop:   stop,
+		queue:  make(chan string, cfg.MaxQueued),
+		pumped: make(chan struct{}),
+		jobs:   map[string]*state{},
+	}
+	recovered, err := m.loadJournal()
+	if err != nil {
+		stop()
+		return nil, err
+	}
+	// The pump is the Ordered producer (Submit/Close are single-goroutine
+	// calls): it feeds recovered work first, then drains the queue until
+	// shutdown. Runners never return errors to Ordered — a failed job is
+	// a job record, not a pool failure — so the sink cannot trip.
+	m.ord = pipeline.NewOrdered[struct{}](ctx, pipeline.Config{Workers: cfg.Workers},
+		func(pipeline.Result[struct{}]) error { return nil })
+	go m.pump(recovered)
+	return m, nil
+}
+
+// pump feeds job IDs into the Ordered pool until shutdown.
+func (m *Manager) pump(recovered []string) {
+	defer close(m.pumped)
+	defer func() { _ = m.ord.Close() }() // joins all runners; ctx is cancelled by then
+	feed := func(id string) bool {
+		err := m.ord.Submit("job "+id, func(ctx context.Context, _ int64) (struct{}, error) {
+			m.run(ctx, id)
+			return struct{}{}, nil
+		})
+		return err == nil
+	}
+	for _, id := range recovered {
+		if !feed(id) {
+			return
+		}
+	}
+	for {
+		select {
+		case <-m.ctx.Done():
+			return
+		case id := <-m.queue:
+			if !feed(id) {
+				return
+			}
+		}
+	}
+}
+
+// Close stops accepting work, cancels running jobs, waits for the
+// runners to exit, and parks interrupted jobs back to pending in the
+// journal so the next start resumes them. Idempotent.
+func (m *Manager) Close() error {
+	m.mu.Lock()
+	if m.closing {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closing = true
+	m.mu.Unlock()
+	m.stop()
+	<-m.pumped
+	return nil
+}
+
+// Submit validates the spec, journals the new pending job, and queues
+// it. It returns ErrQueueFull when the backlog is at MaxQueued.
+func (m *Manager) Submit(spec Spec) (Job, error) {
+	if err := m.validate(&spec); err != nil {
+		return Job{}, err
+	}
+	j := Job{
+		ID:      newID(),
+		Spec:    spec,
+		State:   StatePending,
+		Created: time.Now(),
+	}
+	m.mu.Lock()
+	if m.closing {
+		m.mu.Unlock()
+		return Job{}, ErrClosed
+	}
+	select {
+	case m.queue <- j.ID:
+	default:
+		m.mu.Unlock()
+		return Job{}, fmt.Errorf("jobs: %d jobs already queued: %w", cap(m.queue), ErrQueueFull)
+	}
+	m.jobs[j.ID] = &state{job: j}
+	m.order = append(m.order, j.ID)
+	m.mu.Unlock()
+	m.journal(j.ID)
+	m.observe(j)
+	return j, nil
+}
+
+// validate normalizes and checks a spec before it is accepted.
+func (m *Manager) validate(spec *Spec) error {
+	switch spec.Kind {
+	case KindCompress:
+		if _, err := tcomp.Lookup(spec.Codec); err != nil {
+			return err
+		}
+		switch spec.Format {
+		case "":
+			spec.Format = "v3"
+		case "v2", "v3":
+		default:
+			return fmt.Errorf("jobs: format %q must be v2 or v3", spec.Format)
+		}
+	case KindDecompress:
+		if spec.Codec != "" || spec.Format != "" || len(spec.Params) > 0 {
+			return errors.New("jobs: decompress takes no codec, format, or parameters (the container is self-describing)")
+		}
+	case KindSweep:
+		if len(spec.Codecs) == 0 {
+			return errors.New("jobs: sweep needs at least one codec")
+		}
+		for _, c := range spec.Codecs {
+			if _, err := tcomp.Lookup(c); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("jobs: unknown kind %q", spec.Kind)
+	}
+	if _, err := optionsFromParams(spec.Params); err != nil {
+		return err
+	}
+	if !spec.Input.Valid() {
+		return fmt.Errorf("jobs: input %q is not a valid digest", spec.Input)
+	}
+	if _, err := m.cfg.Store.Stat(spec.Input); err != nil {
+		return fmt.Errorf("jobs: input artifact: %w", err)
+	}
+	return nil
+}
+
+// optionsFromParams translates a params map into functional options via
+// the shared tcomp table, enforcing the same ranges the synchronous
+// validator does (journal-recovered specs get re-checked too). Keys are
+// applied in canonical order so the option list is deterministic.
+func optionsFromParams(params map[string]int64) ([]tcomp.Option, error) {
+	if len(params) == 0 {
+		return nil, nil
+	}
+	known := 0
+	var opts []tcomp.Option
+	for _, key := range tcomp.ParamKeys() {
+		v, ok := params[key]
+		if !ok {
+			continue
+		}
+		known++
+		// An explicit 0 means "codec default" throughout the API; any
+		// other value must sit inside the shared range table.
+		if r, bounded := tcomp.LookupParamRange(key); bounded && v != 0 && (v < r.Min || v > r.Max) {
+			return nil, fmt.Errorf("jobs: parameter %s=%d out of range [%d,%d]", key, v, r.Min, r.Max)
+		}
+		opt, _ := tcomp.OptionForParam(key, v)
+		opts = append(opts, opt)
+	}
+	if known != len(params) {
+		for key := range params {
+			if _, ok := tcomp.OptionForParam(key, 0); !ok {
+				return nil, fmt.Errorf("jobs: unknown parameter %q", key)
+			}
+		}
+	}
+	return opts, nil
+}
+
+// Get returns a snapshot of the job.
+func (m *Manager) Get(id string) (Job, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st, ok := m.jobs[id]
+	if !ok {
+		return Job{}, ErrNotFound
+	}
+	return st.job, nil
+}
+
+// List returns snapshots of all jobs in creation order.
+func (m *Manager) List() []Job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Job, 0, len(m.order))
+	for _, id := range m.order {
+		if st, ok := m.jobs[id]; ok {
+			out = append(out, st.job)
+		}
+	}
+	return out
+}
+
+// Cancel stops a pending or running job. Cancelling a terminal job is a
+// no-op (the race between completion and cancellation is inherent, so it
+// is not an error).
+func (m *Manager) Cancel(id string) error {
+	m.mu.Lock()
+	st, ok := m.jobs[id]
+	if !ok {
+		m.mu.Unlock()
+		return ErrNotFound
+	}
+	var snap Job
+	switch st.job.State {
+	case StatePending:
+		// Not running yet: transition directly; the runner skips any
+		// queued ID whose state is no longer pending.
+		st.cancelled = true
+		st.job.State = StateCancelled
+		st.job.Finished = time.Now()
+		snap = st.job
+	case StateRunning:
+		st.cancelled = true
+		if st.cancel != nil {
+			st.cancel() // the runner records the cancelled transition
+		}
+	}
+	m.mu.Unlock()
+	if snap.ID != "" {
+		m.journal(id)
+		m.observe(snap)
+	}
+	return nil
+}
+
+// Remove deletes a terminal job's record and journal entry. The output
+// artifact stays in the store (it may be shared by content address) and
+// falls to GC. Active jobs return ErrActive — cancel first.
+func (m *Manager) Remove(id string) error {
+	m.mu.Lock()
+	st, ok := m.jobs[id]
+	if !ok {
+		m.mu.Unlock()
+		return ErrNotFound
+	}
+	if !st.job.State.Terminal() {
+		m.mu.Unlock()
+		return ErrActive
+	}
+	delete(m.jobs, id)
+	for i, o := range m.order {
+		if o == id {
+			m.order = append(m.order[:i], m.order[i+1:]...)
+			break
+		}
+	}
+	m.mu.Unlock()
+	if m.cfg.Dir != "" {
+		if err := os.Remove(m.journalPath(id)); err != nil && !os.IsNotExist(err) {
+			return fmt.Errorf("jobs: removing journal entry: %w", err)
+		}
+	}
+	return nil
+}
+
+// OpenResult returns a reader over a done job's output artifact plus the
+// job snapshot. ErrNotDone for unfinished/failed jobs, ErrGone when GC
+// already collected the artifact.
+func (m *Manager) OpenResult(id string) (rc io.ReadCloser, j Job, err error) {
+	m.mu.Lock()
+	st, ok := m.jobs[id]
+	if ok {
+		j = st.job
+	}
+	m.mu.Unlock()
+	if !ok {
+		return nil, Job{}, ErrNotFound
+	}
+	if j.State != StateDone {
+		return nil, j, fmt.Errorf("jobs: job %s is %s: %w", id, j.State, ErrNotDone)
+	}
+	r, err := m.cfg.Store.Open(j.Output)
+	if err != nil {
+		if errors.Is(err, artifact.ErrNotFound) {
+			return nil, j, fmt.Errorf("jobs: job %s: %w", id, ErrGone)
+		}
+		return nil, j, err
+	}
+	return r, j, nil
+}
+
+// run executes one queued job end to end. It never returns an error to
+// the pool: failures become job-record state.
+func (m *Manager) run(ctx context.Context, id string) {
+	m.mu.Lock()
+	st, ok := m.jobs[id]
+	if !ok || st.job.State != StatePending {
+		m.mu.Unlock()
+		return // cancelled (or removed) while queued
+	}
+	jctx, jcancel := context.WithCancel(ctx)
+	st.cancel = jcancel
+	st.job.State = StateRunning
+	st.job.Started = time.Now()
+	snap := st.job
+	m.mu.Unlock()
+	defer jcancel()
+	m.journal(id)
+	m.observe(snap)
+
+	out, err := m.execute(jctx, id, snap)
+
+	m.mu.Lock()
+	st.cancel = nil
+	switch {
+	case err == nil:
+		st.job.State = StateDone
+		st.job.Output = out.digest
+		st.job.OutputSize = out.size
+		st.job.Stats = out.stats
+		st.job.Progress = Progress{Patterns: out.stats.Patterns, Chunks: out.stats.Chunks}
+	case st.cancelled:
+		st.job.State = StateCancelled
+		st.job.Error = "cancelled"
+	case jctx.Err() != nil && m.closing:
+		// Daemon shutdown, not failure: park the job for the next start.
+		// Re-running from scratch is sound — output is a pure function of
+		// (input, params) — and the journal write below makes it durable.
+		st.job.State = StatePending
+		st.job.Started = time.Time{}
+		st.job.Progress = Progress{}
+	default:
+		st.job.State = StateFailed
+		st.job.Error = err.Error()
+		st.job.ErrorCode = m.cfg.ErrorCode(st.job.Spec.Kind, err)
+	}
+	if st.job.State != StatePending {
+		st.job.Finished = time.Now()
+	}
+	snap = st.job
+	m.mu.Unlock()
+	m.journal(id)
+	if snap.State != StatePending {
+		m.observe(snap)
+	}
+}
+
+// setProgress publishes a running job's progress; chunk boundaries also
+// hit the journal so a restart shows how far the interrupted run came.
+func (m *Manager) setProgress(id string, p Progress) {
+	m.mu.Lock()
+	st, ok := m.jobs[id]
+	journalNow := false
+	if ok && st.job.State == StateRunning {
+		journalNow = p.Chunks > st.job.Progress.Chunks
+		st.job.Progress = p
+	}
+	m.mu.Unlock()
+	if journalNow {
+		m.journal(id)
+	}
+}
+
+// observe invokes the metrics hook with no locks held.
+func (m *Manager) observe(j Job) {
+	if m.cfg.Observe != nil {
+		m.cfg.Observe(j)
+	}
+}
+
+// defaultErrorCode is the built-in taxonomy classifier; it mirrors the
+// synchronous endpoints' mapping (serve's own classifier adds nothing
+// for jobs, whose inputs are already fully stored blobs).
+func defaultErrorCode(kind Kind, err error) string {
+	if errors.Is(err, pipeline.ErrPanic) {
+		return "internal_panic"
+	}
+	if kind == KindDecompress {
+		return "corrupt_container"
+	}
+	return "unprocessable"
+}
+
+// ---- journal ----
+
+func (m *Manager) journalPath(id string) string {
+	return filepath.Join(m.cfg.Dir, id+".json")
+}
+
+// journal persists the job's current snapshot with an atomic
+// tmp+rename, so a crash never leaves a torn record. Best-effort: a
+// journal write failure is logged, not fatal — the in-memory state
+// machine stays authoritative for this process's lifetime.
+func (m *Manager) journal(id string) {
+	if m.cfg.Dir == "" {
+		return
+	}
+	m.mu.Lock()
+	st, ok := m.jobs[id]
+	var snap Job
+	if ok {
+		snap = st.job
+	}
+	m.mu.Unlock()
+	if !ok {
+		return
+	}
+	b, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		log.Printf("jobs: marshaling journal entry %s: %v", id, err)
+		return
+	}
+	tmp := m.journalPath(id) + ".tmp"
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		log.Printf("jobs: writing journal entry %s: %v", id, err)
+		return
+	}
+	if err := os.Rename(tmp, m.journalPath(id)); err != nil {
+		log.Printf("jobs: publishing journal entry %s: %v", id, err)
+	}
+}
+
+// loadJournal reads every job record from Dir and returns the IDs to
+// re-queue (pending and interrupted-running jobs), oldest first.
+func (m *Manager) loadJournal() ([]string, error) {
+	if m.cfg.Dir == "" {
+		return nil, nil
+	}
+	if err := os.MkdirAll(m.cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("jobs: creating journal dir: %w", err)
+	}
+	entries, err := os.ReadDir(m.cfg.Dir)
+	if err != nil {
+		return nil, fmt.Errorf("jobs: reading journal dir: %w", err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		id := strings.TrimSuffix(name, ".json")
+		if !validID(id) {
+			continue
+		}
+		b, err := os.ReadFile(filepath.Join(m.cfg.Dir, name))
+		if err != nil {
+			return nil, fmt.Errorf("jobs: reading journal entry %s: %w", name, err)
+		}
+		var j Job
+		if err := json.Unmarshal(b, &j); err != nil {
+			// A torn or foreign file: skip it rather than refuse to start.
+			log.Printf("jobs: skipping unreadable journal entry %s: %v", name, err)
+			continue
+		}
+		if j.ID != id {
+			log.Printf("jobs: skipping journal entry %s: ID mismatch (%q)", name, j.ID)
+			continue
+		}
+		if j.State == StateRunning || j.State == StatePending {
+			// Interrupted (crash or shutdown): back to the start line.
+			j.State = StatePending
+			j.Started = time.Time{}
+			j.Progress = Progress{}
+		}
+		m.jobs[id] = &state{job: j}
+		m.order = append(m.order, id)
+	}
+	sort.Slice(m.order, func(a, b int) bool {
+		ja, jb := m.jobs[m.order[a]].job, m.jobs[m.order[b]].job
+		if !ja.Created.Equal(jb.Created) {
+			return ja.Created.Before(jb.Created)
+		}
+		return ja.ID < jb.ID
+	})
+	var requeue []string
+	for _, id := range m.order {
+		if m.jobs[id].job.State == StatePending {
+			m.journal(id) // persist the running→pending rewrite
+			requeue = append(requeue, id)
+		}
+	}
+	return requeue, nil
+}
+
+// newID returns a fresh 17-character job ID ("j" + 16 hex chars).
+func newID() string {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		// crypto/rand failing means the OS entropy source is broken;
+		// nothing better is available, and IDs only need uniqueness.
+		panic(fmt.Sprintf("jobs: reading random ID bytes: %v", err))
+	}
+	return "j" + hex.EncodeToString(b[:])
+}
+
+// validID reports whether s looks like an ID newID produced — the guard
+// that keeps journal loading and HTTP path segments from smuggling
+// arbitrary file names.
+func validID(s string) bool {
+	if len(s) != 17 || s[0] != 'j' {
+		return false
+	}
+	_, err := hex.DecodeString(s[1:])
+	return err == nil
+}

@@ -1,0 +1,412 @@
+package jobs
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"runtime/debug"
+
+	tcomp "repro"
+	"repro/internal/artifact"
+	"repro/internal/container"
+	"repro/internal/pipeline"
+	"repro/internal/testset"
+)
+
+// outcome is what a successful runner hands back.
+type outcome struct {
+	digest artifact.Digest
+	size   int64
+	stats  *Stats
+}
+
+// execute runs one job's work while holding a token of the shared worker
+// budget, so background jobs and interactive requests split the same
+// CPU allowance instead of stacking on top of each other. A panic in a
+// codec is contained here — it becomes a failed job (internal_panic),
+// never a runner that silently leaves the job in "running" forever.
+func (m *Manager) execute(ctx context.Context, id string, j Job) (out *outcome, err error) {
+	if err := m.lim.Acquire(ctx); err != nil {
+		return nil, err
+	}
+	defer m.lim.Release()
+	defer func() {
+		if r := recover(); r != nil {
+			log.Printf("jobs: contained panic in job %s: %v\n%s", id, r, debug.Stack())
+			out, err = nil, fmt.Errorf("jobs: contained panic (%v): %w", r, pipeline.ErrPanic)
+		}
+	}()
+	switch j.Spec.Kind {
+	case KindCompress:
+		return m.runCompress(ctx, id, j.Spec)
+	case KindDecompress:
+		return m.runDecompress(ctx, id, j.Spec)
+	case KindSweep:
+		return m.runSweep(ctx, id, j.Spec)
+	}
+	return nil, fmt.Errorf("jobs: unknown kind %q", j.Spec.Kind) // unreachable: Submit validated
+}
+
+// produceTo streams a producer's output into the artifact store through
+// a pipe, so job results are written at O(chunk) memory with no
+// intermediate file. The producer's error wins over the store's: if the
+// producer failed, whatever Put saw downstream is a symptom.
+func (m *Manager) produceTo(produce func(w io.Writer) (*Stats, error)) (*outcome, error) {
+	pr, pw := io.Pipe()
+	type putRes struct {
+		d   artifact.Digest
+		n   int64
+		err error
+	}
+	putc := make(chan putRes, 1)
+	go func() {
+		d, n, err := m.cfg.Store.Put(pr)
+		if err == nil {
+			err = fmt.Errorf("jobs: artifact store finished reading early")
+		}
+		// Unblock a producer still writing (store failure, or trailing
+		// bytes after Put decided it was done). A clean completion has the
+		// producer close first, so this error is never observed then.
+		pr.CloseWithError(err)
+		putc <- putRes{d, n, err}
+	}()
+	stats, perr := func() (*Stats, error) {
+		// A panicking producer must still release the store goroutine
+		// (close the pipe, join) before the panic unwinds to execute's
+		// containment — otherwise the Put goroutine leaks, blocked on a
+		// pipe nobody writes.
+		defer func() {
+			if r := recover(); r != nil {
+				_ = pw.CloseWithError(fmt.Errorf("jobs: producer panic: %v", r))
+				<-putc
+				panic(r)
+			}
+		}()
+		return produce(pw)
+	}()
+	_ = pw.CloseWithError(perr) // nil closes clean; CloseWithError always returns nil
+	res := <-putc
+	if perr != nil {
+		return nil, perr
+	}
+	if res.d == "" {
+		return nil, fmt.Errorf("jobs: storing result: %w", res.err)
+	}
+	return &outcome{digest: res.d, size: res.n, stats: stats}, nil
+}
+
+// patternSource abstracts "a stream of test patterns" over the two input
+// encodings a job accepts: textual pattern files and TSET binary blobs.
+type patternSource interface {
+	Width() int
+	Next() (tcomp.Vector, error) // io.EOF ends the stream
+}
+
+// textSource streams a textual pattern blob.
+type textSource struct{ sc *testset.Scanner }
+
+func (s textSource) Width() int                  { return s.sc.Width() }
+func (s textSource) Next() (tcomp.Vector, error) { return s.sc.Next() }
+
+// memSource walks an already-decoded test set (the TSET binary path —
+// that format is in-memory-sized by construction).
+type memSource struct {
+	ts *tcomp.TestSet
+	i  int
+}
+
+func (s *memSource) Width() int { return s.ts.Width }
+func (s *memSource) Next() (tcomp.Vector, error) {
+	if s.i >= s.ts.NumPatterns() {
+		return tcomp.Vector{}, io.EOF
+	}
+	v := s.ts.Patterns[s.i]
+	s.i++
+	return v, nil
+}
+
+// openPatterns opens the input blob as a pattern stream, sniffing the
+// TSET binary magic.
+func (m *Manager) openPatterns(input artifact.Digest) (patternSource, io.Closer, error) {
+	rc, err := m.cfg.Store.Open(input)
+	if err != nil {
+		return nil, nil, fmt.Errorf("jobs: input artifact: %w", err)
+	}
+	br := bufio.NewReader(rc)
+	if peek, err := br.Peek(4); err == nil && string(peek) == "TSET" {
+		ts, err := testset.ReadBinary(br)
+		if err != nil {
+			_ = rc.Close() // the parse error is the story
+			return nil, nil, fmt.Errorf("bad binary test set: %w", err)
+		}
+		return &memSource{ts: ts}, rc, nil
+	}
+	sc, err := testset.NewScanner(br)
+	if err != nil {
+		_ = rc.Close() // the parse error is the story
+		return nil, nil, fmt.Errorf("bad test set: %w", err)
+	}
+	return textSource{sc}, rc, nil
+}
+
+// effectiveChunkPats mirrors the StreamWriter's chunk sizing so progress
+// can be reported in chunks-completed while the stream is still open
+// (the writer's own counters are collector-owned until Close).
+func effectiveChunkPats(params map[string]int64, width int) int {
+	if c := params["chunk"]; c > 0 {
+		return int(c)
+	}
+	n := tcomp.DefaultChunkBits / width
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// runCompress compresses the input pattern blob into a container blob.
+func (m *Manager) runCompress(ctx context.Context, id string, spec Spec) (*outcome, error) {
+	opts, err := optionsFromParams(spec.Params)
+	if err != nil {
+		return nil, err
+	}
+	src, closer, err := m.openPatterns(spec.Input)
+	if err != nil {
+		return nil, err
+	}
+	defer closer.Close()
+
+	if spec.Format == "v2" {
+		// v2 is a monolithic container: materialize the set (bounded by
+		// the daemon's body cap at submission time), compress whole.
+		ts := tcomp.NewTestSet(src.Width())
+		for {
+			v, err := src.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return nil, fmt.Errorf("bad pattern %d: %w", ts.NumPatterns(), err)
+			}
+			ts.Add(v)
+		}
+		codec, err := tcomp.Lookup(spec.Codec)
+		if err != nil {
+			return nil, err
+		}
+		art, err := codec.Compress(ctx, ts, opts...)
+		if err != nil {
+			return nil, err
+		}
+		return m.produceTo(func(w io.Writer) (*Stats, error) {
+			if err := tcomp.Write(w, art); err != nil {
+				return nil, err
+			}
+			return &Stats{
+				Patterns:     art.Patterns,
+				OriginalBits: art.OriginalBits, CompressedBits: art.CompressedBits,
+			}, nil
+		})
+	}
+
+	chunkPats := effectiveChunkPats(spec.Params, src.Width())
+	return m.produceTo(func(w io.Writer) (*Stats, error) {
+		sw, err := tcomp.NewStreamWriter(ctx, w, spec.Codec, src.Width(), opts...)
+		if err != nil {
+			return nil, err
+		}
+		fed := 0
+		for {
+			v, err := src.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				_ = sw.Close() // the scan error is the story; Close joins the workers
+				return nil, fmt.Errorf("bad pattern %d: %w", fed, err)
+			}
+			if err := sw.WritePattern(v); err != nil {
+				_ = sw.Close() // the write error is the story; Close joins the workers
+				return nil, err
+			}
+			fed++
+			if fed%chunkPats == 0 {
+				m.setProgress(id, Progress{Patterns: fed, Chunks: fed / chunkPats})
+			}
+		}
+		if err := sw.Close(); err != nil {
+			return nil, err
+		}
+		return &Stats{
+			Patterns: sw.Patterns(), Chunks: sw.Chunks(),
+			OriginalBits: sw.OriginalBits(), CompressedBits: sw.CompressedBits(),
+		}, nil
+	})
+}
+
+// runDecompress expands a container blob (any version) into a textual
+// pattern blob — the exact bytes the synchronous endpoint would stream.
+func (m *Manager) runDecompress(ctx context.Context, id string, spec Spec) (*outcome, error) {
+	rc, err := m.cfg.Store.Open(spec.Input)
+	if err != nil {
+		return nil, fmt.Errorf("jobs: input artifact: %w", err)
+	}
+	defer rc.Close()
+	version, rest, err := container.Sniff(bufio.NewReader(rc))
+	if err != nil {
+		return nil, fmt.Errorf("not a tcomp container: %w", err)
+	}
+
+	if version != container.Version3 {
+		art, err := tcomp.Open(rest)
+		if err != nil {
+			return nil, fmt.Errorf("bad container: %w", err)
+		}
+		ts, err := tcomp.Decompress(art)
+		if err != nil {
+			return nil, err
+		}
+		return m.produceTo(func(w io.Writer) (*Stats, error) {
+			if err := ts.Write(w); err != nil {
+				return nil, err
+			}
+			return &Stats{
+				Patterns:     ts.NumPatterns(),
+				OriginalBits: art.OriginalBits, CompressedBits: art.CompressedBits,
+			}, nil
+		})
+	}
+
+	sr, err := tcomp.NewStreamReader(rest)
+	if err != nil {
+		return nil, fmt.Errorf("bad chunked container: %w", err)
+	}
+	return m.produceTo(func(w io.Writer) (*Stats, error) {
+		pw, err := testset.NewPatternWriter(w, sr.Width())
+		if err != nil {
+			return nil, err
+		}
+		n, chunk := 0, 0
+		for {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			v, err := sr.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return nil, fmt.Errorf("stream corrupt or truncated at chunk %d: %w", sr.ChunkIndex(), err)
+			}
+			if err := pw.WritePattern(v); err != nil {
+				return nil, err
+			}
+			n++
+			if c := sr.ChunkIndex(); c != chunk {
+				chunk = c
+				m.setProgress(id, Progress{Patterns: n, Chunks: chunk})
+			}
+		}
+		if err := pw.Close(); err != nil {
+			return nil, err
+		}
+		return &Stats{Patterns: n, Chunks: sr.ChunkIndex(), OriginalBits: n * sr.Width()}, nil
+	})
+}
+
+// SweepReport is the JSON artifact a sweep job produces: one row per
+// codec, each the result of streaming the same input through that codec.
+type SweepReport struct {
+	Patterns int              `json:"patterns"`
+	Width    int              `json:"width"`
+	Codecs   []SweepCodecStat `json:"codecs"`
+}
+
+// SweepCodecStat is one codec's row in a sweep report.
+type SweepCodecStat struct {
+	Codec          string  `json:"codec"`
+	Chunks         int     `json:"chunks"`
+	OriginalBits   int     `json:"original_bits"`
+	CompressedBits int     `json:"compressed_bits"`
+	RatePercent    float64 `json:"rate_percent"`
+}
+
+// runSweep streams the input through every requested codec (re-opening
+// the blob per codec, so memory stays O(chunk)) and stores the rate
+// comparison as a JSON report.
+func (m *Manager) runSweep(ctx context.Context, id string, spec Spec) (*outcome, error) {
+	opts, err := optionsFromParams(spec.Params)
+	if err != nil {
+		return nil, err
+	}
+	report := SweepReport{}
+	best := 0
+	for i, codecName := range spec.Codecs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		src, closer, err := m.openPatterns(spec.Input)
+		if err != nil {
+			return nil, err
+		}
+		sw, err := tcomp.NewStreamWriter(ctx, io.Discard, codecName, src.Width(), opts...)
+		if err != nil {
+			_ = closer.Close() // the open error is the story
+			return nil, err
+		}
+		fed := 0
+		for {
+			v, err := src.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				_ = sw.Close()     // the scan error is the story; Close joins the workers
+				_ = closer.Close() // ditto
+				return nil, fmt.Errorf("%s: bad pattern %d: %w", codecName, fed, err)
+			}
+			if err := sw.WritePattern(v); err != nil {
+				_ = sw.Close()     // the write error is the story; Close joins the workers
+				_ = closer.Close() // ditto
+				return nil, err
+			}
+			fed++
+		}
+		closeErr := sw.Close()
+		_ = closer.Close() // input re-opens next iteration
+		if closeErr != nil {
+			return nil, fmt.Errorf("%s: %w", codecName, closeErr)
+		}
+		report.Patterns = sw.Patterns()
+		report.Width = src.Width()
+		report.Codecs = append(report.Codecs, SweepCodecStat{
+			Codec:          codecName,
+			Chunks:         sw.Chunks(),
+			OriginalBits:   sw.OriginalBits(),
+			CompressedBits: sw.CompressedBits(),
+			RatePercent:    sw.RatePercent(),
+		})
+		if best == 0 || sw.CompressedBits() < best {
+			best = sw.CompressedBits()
+		}
+		m.setProgress(id, Progress{Patterns: sw.Patterns(), Chunks: i + 1})
+	}
+	b, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	b = append(b, '\n')
+	return m.produceTo(func(w io.Writer) (*Stats, error) {
+		if _, err := io.Copy(w, bytes.NewReader(b)); err != nil {
+			return nil, err
+		}
+		return &Stats{
+			Patterns: report.Patterns, Chunks: len(report.Codecs),
+			OriginalBits:   report.Patterns * report.Width,
+			CompressedBits: best,
+		}, nil
+	})
+}

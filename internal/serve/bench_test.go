@@ -20,7 +20,7 @@ import (
 )
 
 func BenchmarkServeRoundTrip(b *testing.B) {
-	s := New(Config{CacheBytes: 0})
+	s := mustServer(b, Config{CacheBytes: 0})
 	hs := httptest.NewServer(s.Handler())
 	defer hs.Close()
 	ctx := context.Background()

@@ -24,6 +24,14 @@
 //	                        bitstream)
 //	unprocessable      422  well-formed input the codec cannot process
 //	                        (e.g. a block covering that fails)
+//	job_not_found      404  the job ID names no known job (never submitted,
+//	                        removed, or its result artifact already
+//	                        garbage-collected)
+//	job_not_done       409  the job exists but has no fetchable result:
+//	                        still pending/running, or it failed or was
+//	                        cancelled
+//	queue_full         429  the async job backlog is at the daemon's
+//	                        -max-jobs bound; resubmit later
 //	internal_panic     500  a bug reached a panic; the panic was contained
 //	                        (one request degraded, the daemon lives) and
 //	                        counted in the panics metric
@@ -49,6 +57,9 @@ const (
 	CodeTooLarge         = "request_too_large"
 	CodeCorruptContainer = "corrupt_container"
 	CodeUnprocessable    = "unprocessable"
+	CodeJobNotFound      = "job_not_found"
+	CodeJobNotDone       = "job_not_done"
+	CodeQueueFull        = "queue_full"
 	CodeInternalPanic    = "internal_panic"
 	CodeUnavailable      = "unavailable"
 )
@@ -64,6 +75,12 @@ func statusOf(code string) int {
 		return http.StatusRequestEntityTooLarge
 	case CodeCorruptContainer, CodeUnprocessable:
 		return http.StatusUnprocessableEntity
+	case CodeJobNotFound:
+		return http.StatusNotFound
+	case CodeJobNotDone:
+		return http.StatusConflict
+	case CodeQueueFull:
+		return http.StatusTooManyRequests
 	case CodeUnavailable:
 		return http.StatusServiceUnavailable
 	default:

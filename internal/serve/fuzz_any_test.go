@@ -31,10 +31,10 @@ var fuzzPaths = []struct {
 }{
 	{"POST", "/v1/compress"},
 	{"POST", "/v1/decompress"},
-	{"GET", "/v1/compress"},    // wrong method: 405
-	{"GET", "/v1/decompress"},  // wrong method: 405
+	{"GET", "/v1/compress"},   // wrong method: 405
+	{"GET", "/v1/decompress"}, // wrong method: 405
 	{"GET", "/v1/codecs"},
-	{"POST", "/v1/codecs"},     // wrong method: 405
+	{"POST", "/v1/codecs"}, // wrong method: 405
 	{"GET", "/healthz"},
 	{"GET", "/metrics"},
 	{"DELETE", "/v1/compress"}, // wrong method: 405
@@ -43,8 +43,12 @@ var fuzzPaths = []struct {
 var knownCodes = map[string]bool{
 	CodeBadRequest:       true,
 	CodeMethodNotAllowed: true,
+	CodeTooLarge:         true,
 	CodeCorruptContainer: true,
 	CodeUnprocessable:    true,
+	CodeJobNotFound:      true,
+	CodeJobNotDone:       true,
+	CodeQueueFull:        true,
 	CodeInternalPanic:    true,
 	CodeUnavailable:      true,
 }
@@ -97,7 +101,7 @@ func FuzzServeAnyEndpoint(f *testing.F) {
 	f.Add(uint8(6), "junk=%zz", []byte(nil))
 	f.Add(uint8(8), "", []byte("body on DELETE"))
 
-	s := New(Config{Workers: 2, CacheBytes: 1 << 16, CacheInputBytes: 1 << 12, MaxBodyBytes: 1 << 14})
+	s := mustServer(f, Config{Workers: 2, CacheBytes: 1 << 16, CacheInputBytes: 1 << 12, MaxBodyBytes: 1 << 14})
 	h := s.Handler()
 	// Contained panics log a stack each; the boom corpus would drown the
 	// fuzzer's own output.

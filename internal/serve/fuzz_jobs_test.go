@@ -1,0 +1,111 @@
+package serve
+
+// FuzzJobsAPI is the async-API twin of FuzzServeAnyEndpoint: hostile
+// queries, IDs, and bodies against the whole /v1/jobs handler tree. The
+// invariants:
+//
+//   - the process survives every input (a panic fails the run);
+//   - the submit/get/delete/result surface never answers 5xx — a bad
+//     submission is the client's fault (4xx with a taxonomy body), and
+//     even a job that panics mid-run degrades to a *failed job record*,
+//     never to a broken response;
+//   - every non-2xx answer carries the machine-readable taxonomy body
+//     with a known code matching the X-Tcomp-Error-Code header.
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"log"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+)
+
+// jobFuzzRoutes maps the endpoint selector byte onto the job handler
+// tree. The {id} slot is filled from the fuzzed id operand.
+var jobFuzzRoutes = []struct {
+	method, path string // path may contain "{id}"
+}{
+	{"POST", "/v1/jobs"},
+	{"GET", "/v1/jobs"},
+	{"PUT", "/v1/jobs"},    // wrong method: 405
+	{"DELETE", "/v1/jobs"}, // wrong method: 405
+	{"GET", "/v1/jobs/{id}"},
+	{"DELETE", "/v1/jobs/{id}"},
+	{"POST", "/v1/jobs/{id}"}, // wrong method: 405
+	{"GET", "/v1/jobs/{id}/result"},
+	{"POST", "/v1/jobs/{id}/result"}, // wrong method: 405
+	{"GET", "/v1/jobs/{id}/bogus"},   // no such endpoint: 404
+}
+
+func FuzzJobsAPI(f *testing.F) {
+	pats := []byte("8 2\n0101X10X\n00000000\n")
+	f.Add(uint8(0), "kind=compress&codec=golomb", "", pats)
+	f.Add(uint8(0), "kind=compress&codec=golomb&format=v2&seed=9", "", pats)
+	f.Add(uint8(0), "kind=compress&codec=rl&b=30&chunk=1", "", pats)
+	f.Add(uint8(0), "codec=golomb", "", pats) // kind defaults to compress
+	f.Add(uint8(0), "kind=decompress", "", []byte("not a container"))
+	f.Add(uint8(0), "kind=decompress", "", fuzzContainer())
+	f.Add(uint8(0), "kind=sweep&codecs=golomb,rl,fdr", "", pats)
+	f.Add(uint8(0), "kind=compress&codec=boom", "", pats)     // panics in the background: failed job
+	f.Add(uint8(0), "kind=compress&codec=jobsnope", "", pats) // unknown codec: 400
+	f.Add(uint8(0), "kind=compress&codec=golomb&m=-5", "", pats)
+	f.Add(uint8(0), "kind=compress&codec=golomb&bogus=1", "", pats)
+	f.Add(uint8(0), "kind=frobnicate", "", pats)
+	f.Add(uint8(0), "kind=sweep&codecs=", "", pats)
+	f.Add(uint8(0), "kind=compress&codec=golomb", "", []byte("4294967295 4294967295\n"))
+	f.Add(uint8(1), "", "", []byte(nil))
+	f.Add(uint8(4), "", "j0123456789abcdef", []byte(nil))
+	f.Add(uint8(4), "", "../../etc/passwd", []byte(nil))
+	f.Add(uint8(5), "", "j0123456789abcdef", []byte(nil))
+	f.Add(uint8(7), "", "jZZZZZZZZZZZZZZZZ", []byte(nil))
+	f.Add(uint8(7), "", "", []byte(nil))
+	f.Add(uint8(9), "", "j0123456789abcdef", []byte(nil))
+
+	s := mustServer(f, Config{Workers: 2, JobWorkers: 2, MaxQueuedJobs: 8, MaxBodyBytes: 1 << 14})
+	h := s.Handler()
+	// Contained boom-codec panics log a stack each; keep the fuzzer's own
+	// output readable.
+	log.SetOutput(io.Discard)
+	f.Cleanup(func() { log.SetOutput(io.Discard) })
+
+	f.Fuzz(func(t *testing.T, ep uint8, query, id string, body []byte) {
+		q, err := url.ParseQuery(query)
+		if err != nil {
+			return // not even a query string
+		}
+		if strings.Contains(q.Get("codec"), "ea") || strings.Contains(q.Get("codecs"), "ea") {
+			return // EA wall-clock would dominate the fuzz budget
+		}
+		route := jobFuzzRoutes[int(ep)%len(jobFuzzRoutes)]
+		path := strings.Replace(route.path, "{id}", url.PathEscape(id), 1)
+		req := httptest.NewRequest(route.method, path+"?"+q.Encode(), bytes.NewReader(body))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req) // a panic here fails the run: that is the point
+		resp := rec.Result()
+
+		if resp.StatusCode >= 500 {
+			t.Fatalf("%s %s?%s: status %d — the job surface must never 5xx on hostile input",
+				route.method, path, q.Encode(), resp.StatusCode)
+		}
+		if resp.StatusCode >= 400 {
+			code := resp.Header.Get("X-Tcomp-Error-Code")
+			if !knownCodes[code] {
+				t.Fatalf("%s %s: status %d with unknown error code %q",
+					route.method, path, resp.StatusCode, code)
+			}
+			var e ErrorBody
+			if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+				t.Fatalf("%s %s: status %d error body does not parse: %v",
+					route.method, path, resp.StatusCode, err)
+			}
+			if e.Code != code || e.Status != resp.StatusCode || e.Error == "" {
+				t.Fatalf("%s %s: inconsistent error body %+v (header code %q, status %d)",
+					route.method, path, e, code, resp.StatusCode)
+			}
+		}
+		io.Copy(io.Discard, resp.Body)
+	})
+}

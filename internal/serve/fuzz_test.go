@@ -31,7 +31,7 @@ func FuzzServeCompressHandler(f *testing.F) {
 	f.Add("codec=selhuff&d=0&k=70", []byte("not a test set"))
 	f.Add("%zz=&codec=golomb", []byte("4 1\n0101\n"))
 
-	s := New(Config{Workers: 1, CacheBytes: 1 << 16, CacheInputBytes: 1 << 12, MaxBodyBytes: 1 << 14})
+	s := mustServer(f, Config{Workers: 1, CacheBytes: 1 << 16, CacheInputBytes: 1 << 12, MaxBodyBytes: 1 << 14})
 	h := s.Handler()
 
 	f.Fuzz(func(t *testing.T, query string, body []byte) {

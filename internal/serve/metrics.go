@@ -27,9 +27,16 @@ type Metrics struct {
 	// response-body bytes produced by the compress/decompress endpoints.
 	BytesIn  *expvar.Int
 	BytesOut *expvar.Int
-	// CacheHits / CacheMisses count result-cache lookups on /v1/compress.
-	CacheHits   *expvar.Int
-	CacheMisses *expvar.Int
+	// CacheHits / CacheMisses count result-cache lookups on /v1/compress;
+	// CacheEvictions counts entries the LRU budget pushed out. The root
+	// map also exposes cache_hit_ratio, a gauge computed from the two
+	// lookup counters (0 until the first lookup).
+	CacheHits      *expvar.Int
+	CacheMisses    *expvar.Int
+	CacheEvictions *expvar.Int
+	// Jobs counts async job lifecycle events: submitted, done, failed,
+	// cancelled, and queue_full rejections.
+	Jobs *expvar.Map
 	// Errors counts requests that ended in a non-2xx status.
 	Errors *expvar.Int
 	// Panics counts panics contained by the request middleware — each is
@@ -44,18 +51,20 @@ type Metrics struct {
 
 func newMetrics() *Metrics {
 	m := &Metrics{
-		Requests:    new(expvar.Map).Init(),
-		InFlight:    new(expvar.Int),
-		WorkersBusy: new(expvar.Int),
-		WorkersPeak: new(expvar.Int),
-		BytesIn:     new(expvar.Int),
-		BytesOut:    new(expvar.Int),
-		CacheHits:   new(expvar.Int),
-		CacheMisses: new(expvar.Int),
-		Errors:      new(expvar.Int),
-		Panics:      new(expvar.Int),
-		rates:       map[string]*RateHistogram{},
-		rmap:        new(expvar.Map).Init(),
+		Requests:       new(expvar.Map).Init(),
+		InFlight:       new(expvar.Int),
+		WorkersBusy:    new(expvar.Int),
+		WorkersPeak:    new(expvar.Int),
+		BytesIn:        new(expvar.Int),
+		BytesOut:       new(expvar.Int),
+		CacheHits:      new(expvar.Int),
+		CacheMisses:    new(expvar.Int),
+		CacheEvictions: new(expvar.Int),
+		Jobs:           new(expvar.Map).Init(),
+		Errors:         new(expvar.Int),
+		Panics:         new(expvar.Int),
+		rates:          map[string]*RateHistogram{},
+		rmap:           new(expvar.Map).Init(),
 	}
 	m.root = new(expvar.Map).Init()
 	m.root.Set("requests", m.Requests)
@@ -66,6 +75,15 @@ func newMetrics() *Metrics {
 	m.root.Set("bytes_out", m.BytesOut)
 	m.root.Set("cache_hits", m.CacheHits)
 	m.root.Set("cache_misses", m.CacheMisses)
+	m.root.Set("cache_evictions", m.CacheEvictions)
+	m.root.Set("cache_hit_ratio", expvar.Func(func() any {
+		hits, misses := m.CacheHits.Value(), m.CacheMisses.Value()
+		if hits+misses == 0 {
+			return 0.0
+		}
+		return float64(hits) / float64(hits+misses)
+	}))
+	m.root.Set("jobs", m.Jobs)
 	m.root.Set("errors", m.Errors)
 	m.root.Set("panics", m.Panics)
 	m.root.Set("compression_rate", m.rmap)

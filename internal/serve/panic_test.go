@@ -70,7 +70,7 @@ func decodeErrorBody(t *testing.T, resp *http.Response) ErrorBody {
 // serves a real request, and the panic counter recorded the event.
 func TestPanicContainmentBuffered(t *testing.T) {
 	silenceLogs(t)
-	s := New(Config{Workers: 2})
+	s := mustServer(t, Config{Workers: 2})
 	h := s.Handler()
 
 	resp := postBody(t, h, "/v1/compress?codec=boom&format=v2", "4 1\n0101\n")
@@ -100,7 +100,7 @@ func TestPanicContainmentBuffered(t *testing.T) {
 // an internal_panic trailer on the truncated stream.
 func TestPanicContainmentStreaming(t *testing.T) {
 	silenceLogs(t)
-	s := New(Config{Workers: 2})
+	s := mustServer(t, Config{Workers: 2})
 	hs := httptest.NewServer(s.Handler())
 	defer hs.Close()
 
@@ -148,7 +148,7 @@ func TestPanicContainmentStreaming(t *testing.T) {
 // answers 500 and keeps serving.
 func TestPanicContainmentDecompress(t *testing.T) {
 	silenceLogs(t)
-	s := New(Config{Workers: 2})
+	s := mustServer(t, Config{Workers: 2})
 	h := s.Handler()
 
 	// A well-formed v2 container whose codec panics on decode.
@@ -177,7 +177,7 @@ func TestPanicContainmentDecompress(t *testing.T) {
 // never a clean 200 over a short body.
 func TestPanicMidBufferedBodyAbortsConnection(t *testing.T) {
 	silenceLogs(t)
-	s := New(Config{Workers: 1})
+	s := mustServer(t, Config{Workers: 1})
 	h := s.instrument("/boom", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Length", "64")
 		if _, err := w.Write([]byte("partial")); err != nil {
@@ -208,7 +208,7 @@ func TestPanicMidBufferedBodyAbortsConnection(t *testing.T) {
 // outcomes the issue names: 400 malformed request, 422 corrupt
 // container, plus the machine-readable JSON body shape on each.
 func TestErrorTaxonomy(t *testing.T) {
-	s := New(Config{Workers: 1})
+	s := mustServer(t, Config{Workers: 1})
 	h := s.Handler()
 
 	cases := []struct {
@@ -262,7 +262,7 @@ func TestCorruptContainerIs422(t *testing.T) {
 	}
 	blob := buf.Bytes()
 
-	s := New(Config{Workers: 1})
+	s := mustServer(t, Config{Workers: 1})
 	h := s.Handler()
 	seen422 := false
 	for cut := 5; cut < len(blob); cut++ {
@@ -291,7 +291,7 @@ func TestCorruptContainerIs422(t *testing.T) {
 // and the request validator can never drift apart again (the historical
 // instance: b advertised up to 64, rejected above 30).
 func TestSchemaMatchesValidation(t *testing.T) {
-	s := New(Config{Workers: 1})
+	s := mustServer(t, Config{Workers: 1})
 	h := s.Handler()
 	tried := 0
 	for _, info := range tcomp.CodecSchemas() {

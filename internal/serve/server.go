@@ -17,6 +17,16 @@
 //	                     auto-detected through container.Sniff),
 //	                     textual patterns out.
 //	GET  /v1/codecs      registry listing with per-codec param schema.
+//	POST /v1/jobs        async submission: the body is stored in the
+//	                     content-addressed artifact store and the work
+//	                     runs as a background job; answers 202 with the
+//	                     job record. ?kind= selects compress (default),
+//	                     decompress, or sweep; the remaining query
+//	                     parameters mirror /v1/compress.
+//	GET  /v1/jobs        job listing.
+//	GET  /v1/jobs/{id}   one job record (state, progress, stats).
+//	GET  /v1/jobs/{id}/result  the finished job's artifact bytes.
+//	DELETE /v1/jobs/{id} cancel an active job / remove a terminal one.
 //	GET  /healthz        liveness; 503 once draining.
 //	GET  /metrics        expvar-style JSON counter snapshot.
 //
@@ -47,7 +57,9 @@ import (
 	"sync/atomic"
 
 	tcomp "repro"
+	"repro/internal/artifact"
 	"repro/internal/container"
+	"repro/internal/jobs"
 	"repro/internal/pipeline"
 	"repro/internal/testset"
 )
@@ -69,6 +81,20 @@ type Config struct {
 	CacheInputBytes int64
 	// MaxBodyBytes caps a request body. <= 0 means 1 GiB.
 	MaxBodyBytes int64
+	// JobStore holds async job inputs and outputs (POST /v1/jobs). Nil
+	// means a private in-memory store: jobs work, but artifacts do not
+	// survive the process. Hand it an artifact.DiskStore for durability.
+	JobStore artifact.Store
+	// JobDir is the job journal directory; "" keeps job records in
+	// memory only.
+	JobDir string
+	// JobWorkers bounds concurrently running background jobs. <= 0 means
+	// GOMAXPROCS — note jobs also hold a token of the shared Workers
+	// budget while running, so they never add CPU load beyond it.
+	JobWorkers int
+	// MaxQueuedJobs bounds the async backlog; submissions beyond it get
+	// 429 queue_full. <= 0 means 64.
+	MaxQueuedJobs int
 }
 
 func (c Config) withDefaults() Config {
@@ -90,12 +116,16 @@ type Server struct {
 	lim      *pipeline.Limiter
 	cache    *Cache
 	metrics  *Metrics
+	store    artifact.Store // job inputs and outputs
+	jobs     *jobs.Manager
 	mux      *http.ServeMux
 	draining atomic.Bool
 }
 
-// New builds a Server with its own worker budget, cache, and metrics.
-func New(cfg Config) *Server {
+// New builds a Server with its own worker budget, cache, job manager,
+// and metrics. The only failure mode is the job journal directory being
+// unusable. Call Close on shutdown to stop the job manager.
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:     cfg,
@@ -103,21 +133,70 @@ func New(cfg Config) *Server {
 		cache:   NewCache(cfg.CacheBytes),
 		metrics: newMetrics(),
 	}
+	s.cache.onEvict = func() { s.metrics.CacheEvictions.Add(1) }
+	store := cfg.JobStore
+	if store == nil {
+		store = artifact.NewMemStore()
+	}
+	s.store = store
+	mgr, err := jobs.NewManager(jobs.Config{
+		Store:     store,
+		Dir:       cfg.JobDir,
+		Workers:   cfg.JobWorkers,
+		MaxQueued: cfg.MaxQueuedJobs,
+		Limiter:   s.lim,
+		ErrorCode: jobTaxonomyCode,
+		Observe: func(j jobs.Job) {
+			switch j.State {
+			case jobs.StatePending:
+				s.metrics.Jobs.Add("submitted", 1)
+			case jobs.StateDone:
+				s.metrics.Jobs.Add("done", 1)
+			case jobs.StateFailed:
+				s.metrics.Jobs.Add("failed", 1)
+			case jobs.StateCancelled:
+				s.metrics.Jobs.Add("cancelled", 1)
+			}
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.jobs = mgr
 	mux := http.NewServeMux()
 	mux.Handle("/v1/compress", s.instrument("/v1/compress", s.handleCompress))
 	mux.Handle("/v1/decompress", s.instrument("/v1/decompress", s.handleDecompress))
 	mux.Handle("/v1/codecs", s.instrument("/v1/codecs", s.handleCodecs))
+	mux.Handle("/v1/jobs", s.instrument("/v1/jobs", s.handleJobs))
+	mux.Handle("/v1/jobs/", s.instrument("/v1/jobs/", s.handleJobByID))
 	mux.Handle("/healthz", s.instrument("/healthz", s.handleHealthz))
 	mux.Handle("/metrics", s.instrument("/metrics", s.metrics.ServeHTTP))
 	s.mux = mux
-	return s
+	return s, nil
+}
+
+// jobTaxonomyCode classifies a failed job's error exactly like the
+// synchronous endpoints would have (jobs cannot import serve, so the
+// mapping is injected here).
+func jobTaxonomyCode(kind jobs.Kind, err error) string {
+	if kind == jobs.KindDecompress {
+		return decodeErrorCode(err)
+	}
+	return compressErrorCode(err)
 }
 
 // Handler returns the service's HTTP handler tree.
 func (s *Server) Handler() http.Handler { return s.mux }
 
+// Close stops the background job manager: running jobs are cancelled
+// and parked back to pending in the journal for the next start.
+func (s *Server) Close() error { return s.jobs.Close() }
+
 // Metrics returns the server's counter set (also served at /metrics).
 func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Jobs returns the async job manager.
+func (s *Server) Jobs() *jobs.Manager { return s.jobs }
 
 // Cache returns the result cache (for inspection; may have 0 capacity).
 func (s *Server) Cache() *Cache { return s.cache }

@@ -19,9 +19,21 @@ import (
 	"repro/internal/testset"
 )
 
+// mustServer builds a Server for tests, failing on construction errors
+// and shutting the job manager down with the test.
+func mustServer(tb testing.TB, cfg Config) *Server {
+	tb.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tb.Cleanup(func() { _ = s.Close() })
+	return s
+}
+
 func newTestServer(t *testing.T, cfg Config) (*Server, *tcomp.Client) {
 	t.Helper()
-	s := New(cfg)
+	s := mustServer(t, cfg)
 	hs := httptest.NewServer(s.Handler())
 	t.Cleanup(hs.Close)
 	return s, tcomp.NewClient(hs.URL)
@@ -218,13 +230,73 @@ func TestCacheDeterminism(t *testing.T) {
 	if s.Cache().Len() != 2 {
 		t.Fatalf("cache holds %d entries, want 2", s.Cache().Len())
 	}
+	if ev := s.Metrics().CacheEvictions.Value(); ev != 0 {
+		t.Fatalf("cache_evictions = %d, want 0 (capacity was never exceeded)", ev)
+	}
+	// The computed hit-ratio gauge: 2 hits / 4 lookups.
+	var snap struct {
+		HitRatio  float64 `json:"cache_hit_ratio"`
+		Evictions int64   `json:"cache_evictions"`
+	}
+	if err := json.Unmarshal([]byte(s.Metrics().String()), &snap); err != nil {
+		t.Fatalf("metrics snapshot does not parse: %v", err)
+	}
+	if snap.HitRatio != 0.5 {
+		t.Fatalf("cache_hit_ratio = %v, want 0.5", snap.HitRatio)
+	}
+}
+
+// TestCacheEvictionMetrics: a cache too small for two results evicts the
+// older entry on the second insert, and the eviction is counted.
+func TestCacheEvictionMetrics(t *testing.T) {
+	ts := randomSet(24, 40, 13)
+	in := textOf(t, ts)
+	var probe bytes.Buffer
+	_, client0 := newTestServer(t, Config{Workers: 2, CacheBytes: 1 << 20})
+	if _, err := client0.Compress(context.Background(), "golomb", bytes.NewReader(in), &probe); err != nil {
+		t.Fatal(err)
+	}
+	// Room for one result, never two.
+	s, client := newTestServer(t, Config{Workers: 2, CacheBytes: int64(probe.Len()) * 3 / 2})
+	ctx := context.Background()
+
+	var out bytes.Buffer
+	for _, seed := range []int64{1, 2} {
+		out.Reset()
+		if _, err := client.Compress(ctx, "golomb", bytes.NewReader(in), &out, tcomp.WithSeed(seed)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ev := s.Metrics().CacheEvictions.Value(); ev != 1 {
+		t.Fatalf("cache_evictions = %d, want 1", ev)
+	}
+	if s.Cache().Len() != 1 {
+		t.Fatalf("cache holds %d entries after eviction, want 1", s.Cache().Len())
+	}
+	// The evicted seed is a miss again; the survivor still hits.
+	out.Reset()
+	st, err := client.Compress(ctx, "golomb", bytes.NewReader(in), &out, tcomp.WithSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.CacheHit {
+		t.Fatal("most recent entry should have survived the eviction")
+	}
+	out.Reset()
+	st, err = client.Compress(ctx, "golomb", bytes.NewReader(in), &out, tcomp.WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CacheHit {
+		t.Fatal("evicted entry reported a cache hit")
+	}
 }
 
 // TestGracefulDrain: a request in flight when the daemon starts
 // draining runs to completion — zero dropped requests — while new work
 // is refused at the listener.
 func TestGracefulDrain(t *testing.T) {
-	s := New(Config{Workers: 2})
+	s := mustServer(t, Config{Workers: 2})
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -349,7 +421,7 @@ func TestSharedWorkerBudget(t *testing.T) {
 
 // TestHealthzAndDrainStatus pins the liveness contract.
 func TestHealthzAndDrainStatus(t *testing.T) {
-	s := New(Config{Workers: 1})
+	s := mustServer(t, Config{Workers: 1})
 	get := func() (int, string) {
 		rec := httptest.NewRecorder()
 		s.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
@@ -448,7 +520,7 @@ func TestMetricsEndpoint(t *testing.T) {
 
 // TestCompressErrors pins the error contract of the compress endpoint.
 func TestCompressErrors(t *testing.T) {
-	s := New(Config{Workers: 1})
+	s := mustServer(t, Config{Workers: 1})
 	do := func(method, target, body string) (int, string) {
 		rec := httptest.NewRecorder()
 		req := httptest.NewRequest(method, target, strings.NewReader(body))

@@ -19,7 +19,7 @@ import (
 // must be a 413 request_too_large on both data endpoints, with the code
 // in the JSON body and the X-Tcomp-Error-Code header.
 func TestOversizedBodyIs413(t *testing.T) {
-	s := New(Config{Workers: 2, MaxBodyBytes: 256})
+	s := mustServer(t, Config{Workers: 2, MaxBodyBytes: 256})
 	// Both bodies must be *well-formed* payloads that merely exceed the
 	// cap: a parse failure caused by anything other than the truncation
 	// would rightly stay a 400.
@@ -103,7 +103,7 @@ func TestClientMapsTooLarge(t *testing.T) {
 // TestUndersizedBodyStillBadRequest guards the classifier the other
 // way: a genuinely malformed body under the cap stays a 400.
 func TestUndersizedBodyStillBadRequest(t *testing.T) {
-	s := New(Config{Workers: 2, MaxBodyBytes: 1 << 20})
+	s := mustServer(t, Config{Workers: 2, MaxBodyBytes: 1 << 20})
 	rec := httptest.NewRecorder()
 	req := httptest.NewRequest(http.MethodPost, "/v1/compress?codec=golomb", strings.NewReader("01\n0X\nnot-a-pattern\n"))
 	s.Handler().ServeHTTP(rec, req)
