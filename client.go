@@ -76,6 +76,10 @@ type RemoteStats struct {
 	// CacheHit reports that the daemon served the artifact from its
 	// content-addressed result cache. The bytes are identical either way.
 	CacheHit bool
+	// RequestID is the daemon's X-Request-Id for this call — quote it
+	// when reporting a problem so the operator can grep the daemon's
+	// structured logs for the exact request.
+	RequestID string
 }
 
 // RatePercent returns the paper-style compression rate.
@@ -152,6 +156,10 @@ type RemoteError struct {
 	Code string
 	// Message is the daemon's human-readable error text.
 	Message string
+	// RequestID is the daemon's X-Request-Id for the failing request
+	// (empty when talking to a pre-tracing daemon) — the key that links
+	// this error to the daemon's server-side logs.
+	RequestID string
 }
 
 func (e *RemoteError) Error() string {
@@ -205,7 +213,11 @@ func (e *RemoteError) Is(target error) bool {
 // a RemoteError, classified by HTTP status alone.
 func apiError(resp *http.Response) error {
 	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-	e := &RemoteError{Status: resp.StatusCode, Code: resp.Header.Get("X-Tcomp-Error-Code")}
+	e := &RemoteError{
+		Status:    resp.StatusCode,
+		Code:      resp.Header.Get("X-Tcomp-Error-Code"),
+		RequestID: resp.Header.Get("X-Request-Id"),
+	}
 	var parsed struct {
 		Code  string `json:"code"`
 		Error string `json:"error"`
@@ -236,7 +248,7 @@ func trailerError(resp *http.Response) error {
 		// failures are input corruption unless stated otherwise.
 		code = "corrupt_container"
 	}
-	return &RemoteError{Code: code, Message: msg}
+	return &RemoteError{Code: code, Message: msg, RequestID: resp.Header.Get("X-Request-Id")}
 }
 
 func (c *Client) do(req *http.Request) (*http.Response, error) {
@@ -329,6 +341,7 @@ func remoteStats(codecName string, resp *http.Response) *RemoteStats {
 		OriginalBits:   atoi(get("X-Tcomp-Original-Bits")),
 		CompressedBits: atoi(get("X-Tcomp-Compressed-Bits")),
 		CacheHit:       get("X-Tcomp-Cache") == "hit",
+		RequestID:      resp.Header.Get("X-Request-Id"),
 	}
 }
 

@@ -104,6 +104,10 @@ type JobStatus struct {
 	// "corrupt_container", "internal_panic"), so an async caller can
 	// classify the failure exactly like a synchronous one.
 	ErrorCode string `json:"error_code,omitempty"`
+	// RequestID is the X-Request-Id of the HTTP request that submitted
+	// the job — the key that links the async record back to the daemon's
+	// structured logs for the submission.
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // Terminal reports whether the job has reached a final state.
@@ -239,18 +243,41 @@ func (c *Client) JobResult(ctx context.Context, id string, w io.Writer) (*Remote
 	return remoteStats("", resp), nil
 }
 
+// Backoff bounds of WaitJob's default polling schedule: the delay
+// doubles from waitBaseDelay until it saturates at waitMaxDelay, so a
+// short job is noticed within ~100ms while a long wait settles to one
+// poll every 3s instead of hammering the daemon at the old fixed 250ms.
+const (
+	waitBaseDelay = 100 * time.Millisecond
+	waitMaxDelay  = 3 * time.Second
+)
+
+// waitDelay returns the pause before poll attempt+2 (the first poll
+// happens immediately). An explicit PollInterval pins the historical
+// fixed cadence; fixed <= 0 selects the capped exponential schedule
+// 100ms, 200ms, 400ms, 800ms, 1.6s, 3s, 3s, ...
+func waitDelay(fixed time.Duration, attempt int) time.Duration {
+	if fixed > 0 {
+		return fixed
+	}
+	d := waitBaseDelay
+	for i := 0; i < attempt; i++ {
+		d *= 2
+		if d >= waitMaxDelay {
+			return waitMaxDelay
+		}
+	}
+	return d
+}
+
 // WaitJob polls the job until it reaches a terminal state (done,
 // failed, or cancelled) and returns its final record; the caller
-// decides what a failed or cancelled job means. The poll interval is
-// PollInterval (default 250ms), and the context bounds the total wait.
+// decides what a failed or cancelled job means. A set PollInterval is
+// the fixed polling cadence; when unset, polling backs off
+// exponentially from 100ms to a 3s cap. The context bounds the total
+// wait.
 func (c *Client) WaitJob(ctx context.Context, id string) (*JobStatus, error) {
-	interval := c.PollInterval
-	if interval <= 0 {
-		interval = 250 * time.Millisecond
-	}
-	t := time.NewTicker(interval)
-	defer t.Stop()
-	for {
+	for attempt := 0; ; attempt++ {
 		j, err := c.Job(ctx, id)
 		if err != nil {
 			return nil, err
@@ -258,8 +285,10 @@ func (c *Client) WaitJob(ctx context.Context, id string) (*JobStatus, error) {
 		if j.Terminal() {
 			return j, nil
 		}
+		t := time.NewTimer(waitDelay(c.PollInterval, attempt))
 		select {
 		case <-ctx.Done():
+			t.Stop()
 			return j, ctx.Err()
 		case <-t.C:
 		}

@@ -1,0 +1,43 @@
+package tcomp
+
+import (
+	"testing"
+	"time"
+)
+
+// TestWaitDelaySchedule pins WaitJob's capped exponential backoff:
+// 100ms doubling to a 3s plateau, and never past it.
+func TestWaitDelaySchedule(t *testing.T) {
+	want := []time.Duration{
+		100 * time.Millisecond,
+		200 * time.Millisecond,
+		400 * time.Millisecond,
+		800 * time.Millisecond,
+		1600 * time.Millisecond,
+		3 * time.Second,
+		3 * time.Second,
+		3 * time.Second,
+	}
+	for attempt, w := range want {
+		if got := waitDelay(0, attempt); got != w {
+			t.Errorf("waitDelay(0, %d) = %v, want %v", attempt, got, w)
+		}
+	}
+	// Far out on the schedule the delay must stay pinned at the cap
+	// (and must not wrap through duration overflow).
+	for _, attempt := range []int{10, 30, 64, 1000} {
+		if got := waitDelay(0, attempt); got != waitMaxDelay {
+			t.Errorf("waitDelay(0, %d) = %v, want cap %v", attempt, got, waitMaxDelay)
+		}
+	}
+}
+
+// TestWaitDelayFixedInterval: an explicit PollInterval disables the
+// backoff entirely — the historical fixed-cadence contract.
+func TestWaitDelayFixedInterval(t *testing.T) {
+	for _, attempt := range []int{0, 1, 5, 100} {
+		if got := waitDelay(250*time.Millisecond, attempt); got != 250*time.Millisecond {
+			t.Errorf("waitDelay(250ms, %d) = %v, want fixed 250ms", attempt, got)
+		}
+	}
+}

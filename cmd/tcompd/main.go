@@ -8,15 +8,24 @@
 //
 //	tcompd -addr :8077 -workers 8 -cache-bytes 268435456
 //	tcompd -addr :8077 -store-dir /var/lib/tcompd  # durable async jobs
+//	tcompd -config /etc/tcompd.json -log-format json
 //
 // Endpoints: POST /v1/compress, POST /v1/decompress, GET /v1/codecs,
-// POST/GET /v1/jobs (async job API), GET /healthz, GET /metrics. See
-// the README's Serving and Async jobs sections for curl examples.
+// POST/GET /v1/jobs (async job API), GET /healthz, GET /metrics (JSON
+// snapshot), GET /metrics/prometheus (text exposition). See the
+// README's Serving and Observability sections for curl examples.
+//
+// Every setting resolves through one layered config: a command-line
+// flag beats its TCOMPD_* environment variable (-cache-bytes →
+// TCOMPD_CACHE_BYTES), which beats the same key in the -config JSON
+// file, which beats the built-in default. A typoed config-file key
+// fails startup instead of silently doing nothing.
 //
 // With -store-dir set, async job artifacts live in a content-addressed
 // on-disk store and job records in a journal next to it, so submitted
 // work and finished results survive a daemon restart. A background
-// sweeper applies -artifact-ttl and -artifact-quota.
+// sweeper applies -artifact-ttl and -artifact-quota and reclaims
+// staging files a crashed process left behind.
 //
 // On SIGTERM or SIGINT the daemon drains gracefully: /healthz flips to
 // 503 so load balancers stop routing here, the listener stops accepting
@@ -30,9 +39,10 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -40,12 +50,17 @@ import (
 	"time"
 
 	"repro/internal/artifact"
+	"repro/internal/obs"
 	"repro/internal/serve"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("tcompd: ")
+	os.Exit(run())
+}
+
+// run is main with an exit code, so deferred cleanup actually runs
+// (os.Exit in main would skip it).
+func run() int {
 	var (
 		addr          = flag.String("addr", ":8077", "listen address (host:port; port 0 picks an ephemeral port)")
 		workers       = flag.Int("workers", 0, "shared compression worker budget (0 = one per CPU); concurrent requests and background jobs queue for these tokens instead of oversubscribing")
@@ -61,8 +76,23 @@ func main() {
 		gcInterval    = flag.Duration("gc-interval", 5*time.Minute, "how often the artifact GC sweeper runs")
 		maxJobs       = flag.Int("max-jobs", 64, "async job backlog bound; submissions beyond it answer 429 queue_full")
 		jobWorkers    = flag.Int("job-workers", 2, "concurrently running background jobs (they also hold shared worker tokens while running)")
+
+		_         = flag.String("config", "", "JSON config file; flags and TCOMPD_* env vars override its settings")
+		logLevel  = flag.String("log-level", "info", "log verbosity: debug, info, warn, or error")
+		logFormat = flag.String("log-format", "text", "log encoding: text or json")
+		pprofOn   = flag.Bool("pprof", false, "serve net/http/pprof profiles under /debug/pprof/ (off by default: profiles expose internals)")
 	)
-	flag.Parse()
+	if err := obs.LoadFlags(flag.CommandLine, os.Args[1:], "TCOMPD_", os.LookupEnv, "config"); err != nil {
+		fmt.Fprintln(os.Stderr, "tcompd:", err)
+		return 2
+	}
+
+	logger, err := newLogger(*logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tcompd:", err)
+		return 2
+	}
+	slog.SetDefault(logger)
 
 	cfg := serve.Config{
 		Workers:         *workers,
@@ -71,30 +101,48 @@ func main() {
 		MaxBodyBytes:    *maxBody,
 		MaxQueuedJobs:   *maxJobs,
 		JobWorkers:      *jobWorkers,
+		Logger:          logger,
 	}
 	var store *artifact.DiskStore
 	if *storeDir != "" {
-		var err error
 		store, err = artifact.NewDiskStore(filepath.Join(*storeDir, "artifacts"))
 		if err != nil {
-			log.Fatal(err)
+			logger.Error("opening artifact store", slog.Any("error", err))
+			return 1
 		}
 		cfg.JobStore = store
 		cfg.JobDir = filepath.Join(*storeDir, "jobs")
 	}
 	s, err := serve.New(cfg)
 	if err != nil {
-		log.Fatal(err)
+		logger.Error("starting server", slog.Any("error", err))
+		return 1
+	}
+
+	handler := s.Handler()
+	if *pprofOn {
+		// The service mux is private, so pprof is mounted here explicitly
+		// rather than through the package's DefaultServeMux side effect —
+		// absent the flag, no profiling endpoint exists at all.
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+		logger.Info("pprof enabled", slog.String("path", "/debug/pprof/"))
 	}
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           s.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
-	// The artifact GC sweeper: TTL first, then the LRU quota pass. Only
-	// meaningful for the durable store — the in-memory store dies with
-	// the process anyway.
+	// The artifact GC sweeper: TTL first, then the LRU quota pass, then
+	// orphaned staging files. Only meaningful for the durable store — the
+	// in-memory store dies with the process anyway.
 	gcStop := make(chan struct{})
 	if store != nil && *gcInterval > 0 {
 		go func() {
@@ -106,9 +154,14 @@ func main() {
 					return
 				case now := <-t.C:
 					st := store.Sweep(now, *artifactTTL, *artifactQuota)
-					if st.Expired+st.Evicted > 0 {
-						log.Printf("artifact gc: expired %d, evicted %d, freed %d bytes (store now %d blobs / %d bytes)",
-							st.Expired, st.Evicted, st.FreedBytes, store.Len(), store.Bytes())
+					if st.Expired+st.Evicted+st.TmpRemoved > 0 {
+						logger.Info("artifact gc",
+							slog.Int("expired", st.Expired),
+							slog.Int("evicted", st.Evicted),
+							slog.Int("tmp_removed", st.TmpRemoved),
+							slog.Int64("freed_bytes", st.FreedBytes),
+							slog.Int("blobs", store.Len()),
+							slog.Int64("bytes", store.Bytes()))
 					}
 				}
 			}
@@ -117,13 +170,18 @@ func main() {
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		log.Fatal(err)
+		logger.Error("listening", slog.String("addr", *addr), slog.Any("error", err))
+		return 1
 	}
-	log.Printf("listening on %s (workers %d, cache %d MiB, store %q)",
-		ln.Addr(), s.WorkerBudget(), *cacheBytes>>20, *storeDir)
+	logger.Info("listening",
+		slog.String("addr", ln.Addr().String()),
+		slog.Int("workers", s.WorkerBudget()),
+		slog.Int64("cache_bytes", *cacheBytes),
+		slog.String("store_dir", *storeDir))
 	if *portFile != "" {
 		if err := os.WriteFile(*portFile, []byte(ln.Addr().String()), 0o644); err != nil {
-			log.Fatal(err)
+			logger.Error("writing portfile", slog.Any("error", err))
+			return 1
 		}
 	}
 
@@ -135,23 +193,35 @@ func main() {
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, syscall.SIGTERM, os.Interrupt)
 		<-sig
-		log.Printf("draining (waiting up to %v for in-flight requests)", *drainTimeout)
+		logger.Info("draining", slog.Duration("timeout", *drainTimeout))
 		s.StartDrain()
 		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
 		if err := httpSrv.Shutdown(ctx); err != nil {
-			log.Printf("drain incomplete: %v", err)
+			logger.Warn("drain incomplete", slog.Any("error", err))
 		}
 	}()
 
 	if err := httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Fatal(err)
+		logger.Error("serving", slog.Any("error", err))
+		return 1
 	}
 	<-idle
 	close(gcStop)
 	if err := s.Close(); err != nil {
-		log.Printf("stopping job manager: %v", err)
+		logger.Warn("stopping job manager", slog.Any("error", err))
 	}
 	fmt.Fprintln(os.Stderr, s.Metrics().String())
-	log.Print("drained; bye")
+	logger.Info("drained; bye")
+	return 0
+}
+
+// newLogger builds the daemon's structured logger from the -log-level
+// and -log-format settings.
+func newLogger(level, format string) (*slog.Logger, error) {
+	lv, err := obs.ParseLevel(level)
+	if err != nil {
+		return nil, err
+	}
+	return obs.NewLogger(os.Stderr, lv, format)
 }

@@ -112,6 +112,10 @@ type SweepStats struct {
 	Expired    int   // blobs deleted by the TTL pass
 	Evicted    int   // blobs deleted by the quota pass
 	FreedBytes int64 // total bytes released
+	// TmpRemoved counts orphaned staging files reclaimed from the tmp
+	// directory (DiskStore only): put-* files older than the grace
+	// period, left behind by a crash mid-Put.
+	TmpRemoved int
 }
 
 // entry is the in-memory index record both stores share.

@@ -8,6 +8,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"time"
 )
@@ -36,8 +37,16 @@ type DiskStore struct {
 	total int64
 }
 
-// NewDiskStore opens (or creates) a blob store rooted at dir and
-// re-indexes any blobs already present.
+// tmpGrace is how old a tmp/put-* staging file must be before cleanup
+// treats it as a crash orphan. A live Put holds its staging file only
+// for the duration of one body copy; an hour of slack keeps cleanup from
+// ever racing a slow writer while still reclaiming genuinely dead files.
+const tmpGrace = time.Hour
+
+// NewDiskStore opens (or creates) a blob store rooted at dir,
+// re-indexes any blobs already present, and reclaims staging files a
+// crashed process left in tmp/ (older than the grace period — a
+// concurrently running store's in-flight Puts are left alone).
 func NewDiskStore(dir string) (*DiskStore, error) {
 	if err := os.MkdirAll(filepath.Join(dir, "tmp"), 0o755); err != nil {
 		return nil, fmt.Errorf("artifact: creating store: %w", err)
@@ -46,7 +55,36 @@ func NewDiskStore(dir string) (*DiskStore, error) {
 	if err := s.reindex(); err != nil {
 		return nil, err
 	}
+	s.cleanTmp(time.Now())
 	return s, nil
+}
+
+// cleanTmp removes orphaned put-* staging files older than the grace
+// period and returns how many it reclaimed. A crash between CreateTemp
+// and the publishing rename leaves the staged bytes invisible to the
+// index forever; without this pass they would accumulate unbounded.
+// Best-effort: an unreadable tmp dir or a file that vanishes mid-walk
+// (a concurrent cleaner, a racing Put finishing) is not an error.
+func (s *DiskStore) cleanTmp(now time.Time) int {
+	files, err := os.ReadDir(filepath.Join(s.dir, "tmp"))
+	if err != nil {
+		return 0
+	}
+	cutoff := now.Add(-tmpGrace)
+	removed := 0
+	for _, f := range files {
+		if f.IsDir() || !strings.HasPrefix(f.Name(), "put-") {
+			continue // only files this store's Put demonstrably staged
+		}
+		fi, err := f.Info()
+		if err != nil || !fi.ModTime().Before(cutoff) {
+			continue
+		}
+		if os.Remove(filepath.Join(s.dir, "tmp", f.Name())) == nil {
+			removed++
+		}
+	}
+	return removed
 }
 
 // Dir returns the store's root directory.
@@ -203,16 +241,21 @@ func (s *DiskStore) drop(d Digest) {
 	}
 }
 
-// Sweep applies TTL expiry and LRU quota eviction.
+// Sweep applies TTL expiry, LRU quota eviction, and orphaned staging
+// file cleanup.
 func (s *DiskStore) Sweep(now time.Time, ttl time.Duration, quota int64) SweepStats {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	return sweepIndex(s.index, s.total, now, ttl, quota, func(d Digest) {
+	st := sweepIndex(s.index, s.total, now, ttl, quota, func(d Digest) {
 		e := s.index[d]
 		delete(s.index, d)
 		s.total -= e.size
 		_ = os.Remove(s.blobPath(d)) // best-effort: a straggler is re-indexed, never corrupt
 	})
+	s.mu.Unlock()
+	// Outside the lock: cleanTmp only touches tmp/, which the index never
+	// references, and Put's staging files are protected by the grace age.
+	st.TmpRemoved = s.cleanTmp(now)
+	return st
 }
 
 // Len returns the number of stored blobs.

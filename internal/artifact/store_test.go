@@ -374,3 +374,64 @@ func TestParseDigest(t *testing.T) {
 		}
 	}
 }
+
+// TestOrphanedTmpCleanup simulates a crash mid-Put: a stale put-* file
+// sits in tmp/ when the store (re)opens. NewDiskStore reclaims it;
+// fresh staging files (an in-flight Put of a concurrent process) and
+// foreign files survive both the constructor and Sweep.
+func TestOrphanedTmpCleanup(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := NewDiskStore(dir); err != nil {
+		t.Fatal(err)
+	}
+	tmp := filepath.Join(dir, "tmp")
+	old := filepath.Join(tmp, "put-crashed")
+	fresh := filepath.Join(tmp, "put-inflight")
+	foreign := filepath.Join(tmp, "editor-backup~")
+	for _, p := range []string{old, fresh, foreign} {
+		if err := os.WriteFile(p, []byte("staged bytes"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stale := time.Now().Add(-2 * tmpGrace)
+	if err := os.Chtimes(old, stale, stale); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chtimes(foreign, stale, stale); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart" the daemon: the constructor reclaims the stale orphan.
+	s, err := NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(old); !os.IsNotExist(err) {
+		t.Fatal("stale put-* orphan survived NewDiskStore")
+	}
+	if _, err := os.Stat(fresh); err != nil {
+		t.Fatal("fresh staging file inside the grace period was removed")
+	}
+	if _, err := os.Stat(foreign); err != nil {
+		t.Fatal("foreign tmp file was removed; cleanup must only touch put-*")
+	}
+
+	// A long-running daemon reclaims orphans during its GC pass too.
+	reorphaned := filepath.Join(tmp, "put-leaked-later")
+	if err := os.WriteFile(reorphaned, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chtimes(reorphaned, stale, stale); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Sweep(time.Now(), 0, 0)
+	if st.TmpRemoved != 1 {
+		t.Fatalf("Sweep.TmpRemoved = %d, want 1", st.TmpRemoved)
+	}
+	if _, err := os.Stat(reorphaned); !os.IsNotExist(err) {
+		t.Fatal("stale orphan survived Sweep")
+	}
+	if _, err := os.Stat(fresh); err != nil {
+		t.Fatal("Sweep removed a staging file inside the grace period")
+	}
+}

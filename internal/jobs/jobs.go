@@ -31,7 +31,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sort"
@@ -41,6 +41,7 @@ import (
 
 	tcomp "repro"
 	"repro/internal/artifact"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 )
 
@@ -121,6 +122,10 @@ type Job struct {
 	// the synchronous endpoint would have answered with), so an async
 	// client can classify the failure exactly like a sync one.
 	ErrorCode string `json:"error_code,omitempty"`
+	// RequestID is the X-Request-Id of the HTTP request that submitted the
+	// job, linking the async record back to the submitting request's
+	// trace. Journalled, so the link survives a restart.
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // Sentinel errors of the Manager API.
@@ -168,6 +173,9 @@ type Config struct {
 	// after every state transition of a live job — the daemon's metrics
 	// hook. Journal recovery does not replay old transitions.
 	Observe func(j Job)
+	// Logger receives job lifecycle and journal-failure logs. Nil means
+	// slog.Default().
+	Logger *slog.Logger
 }
 
 // state is the Manager's record of one job.
@@ -181,6 +189,7 @@ type state struct {
 type Manager struct {
 	cfg  Config
 	lim  *pipeline.Limiter
+	log  *slog.Logger
 	ctx  context.Context
 	stop context.CancelFunc
 
@@ -210,10 +219,15 @@ func NewManager(cfg Config) (*Manager, error) {
 	if lim == nil {
 		lim = pipeline.Default()
 	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.Default()
+	}
 	ctx, stop := context.WithCancel(context.Background())
 	m := &Manager{
 		cfg:    cfg,
 		lim:    lim,
+		log:    logger,
 		ctx:    ctx,
 		stop:   stop,
 		queue:  make(chan string, cfg.MaxQueued),
@@ -282,14 +296,24 @@ func (m *Manager) Close() error {
 // Submit validates the spec, journals the new pending job, and queues
 // it. It returns ErrQueueFull when the backlog is at MaxQueued.
 func (m *Manager) Submit(spec Spec) (Job, error) {
+	return m.SubmitCtx(context.Background(), spec)
+}
+
+// SubmitCtx is Submit carrying the submitting request's context: the
+// context's request ID (if the obs middleware put one there) is stamped
+// on the job record, linking the async job back to the HTTP request that
+// created it. The context does not bound the job's execution — jobs
+// outlive their submitting request by design.
+func (m *Manager) SubmitCtx(ctx context.Context, spec Spec) (Job, error) {
 	if err := m.validate(&spec); err != nil {
 		return Job{}, err
 	}
 	j := Job{
-		ID:      newID(),
-		Spec:    spec,
-		State:   StatePending,
-		Created: time.Now(),
+		ID:        newID(),
+		Spec:      spec,
+		State:     StatePending,
+		Created:   time.Now(),
+		RequestID: obs.RequestID(ctx),
 	}
 	m.mu.Lock()
 	if m.closing {
@@ -553,6 +577,27 @@ func (m *Manager) run(ctx context.Context, id string) {
 	if snap.State != StatePending {
 		m.observe(snap)
 	}
+	attrs := []any{
+		slog.String("job_id", id),
+		slog.String("kind", string(snap.Spec.Kind)),
+		slog.String("state", string(snap.State)),
+	}
+	if snap.RequestID != "" {
+		attrs = append(attrs, slog.String("request_id", snap.RequestID))
+	}
+	if !snap.Finished.IsZero() {
+		attrs = append(attrs, slog.Duration("duration", snap.Finished.Sub(snap.Started)))
+	}
+	switch snap.State {
+	case StateFailed:
+		attrs = append(attrs, slog.String("error", snap.Error), slog.String("error_code", snap.ErrorCode))
+		m.log.Error("job finished", attrs...)
+	case StatePending:
+		// Shutdown parked the job; it re-runs on the next start.
+		m.log.Info("job parked for restart", attrs...)
+	default:
+		m.log.Info("job finished", attrs...)
+	}
 }
 
 // setProgress publishes a running job's progress; chunk boundaries also
@@ -617,16 +662,16 @@ func (m *Manager) journal(id string) {
 	}
 	b, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
-		log.Printf("jobs: marshaling journal entry %s: %v", id, err)
+		m.log.Error("marshaling journal entry", slog.String("job_id", id), slog.Any("error", err))
 		return
 	}
 	tmp := m.journalPath(id) + ".tmp"
 	if err := os.WriteFile(tmp, b, 0o644); err != nil {
-		log.Printf("jobs: writing journal entry %s: %v", id, err)
+		m.log.Error("writing journal entry", slog.String("job_id", id), slog.Any("error", err))
 		return
 	}
 	if err := os.Rename(tmp, m.journalPath(id)); err != nil {
-		log.Printf("jobs: publishing journal entry %s: %v", id, err)
+		m.log.Error("publishing journal entry", slog.String("job_id", id), slog.Any("error", err))
 	}
 }
 
@@ -659,11 +704,11 @@ func (m *Manager) loadJournal() ([]string, error) {
 		var j Job
 		if err := json.Unmarshal(b, &j); err != nil {
 			// A torn or foreign file: skip it rather than refuse to start.
-			log.Printf("jobs: skipping unreadable journal entry %s: %v", name, err)
+			m.log.Warn("skipping unreadable journal entry", slog.String("entry", name), slog.Any("error", err))
 			continue
 		}
 		if j.ID != id {
-			log.Printf("jobs: skipping journal entry %s: ID mismatch (%q)", name, j.ID)
+			m.log.Warn("skipping journal entry with mismatched ID", slog.String("entry", name), slog.String("id", j.ID))
 			continue
 		}
 		if j.State == StateRunning || j.State == StatePending {

@@ -7,7 +7,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"runtime/debug"
 
 	tcomp "repro"
@@ -36,7 +36,11 @@ func (m *Manager) execute(ctx context.Context, id string, j Job) (out *outcome, 
 	defer m.lim.Release()
 	defer func() {
 		if r := recover(); r != nil {
-			log.Printf("jobs: contained panic in job %s: %v\n%s", id, r, debug.Stack())
+			m.log.Error("contained panic in job",
+				slog.String("job_id", id),
+				slog.String("request_id", j.RequestID),
+				slog.Any("panic", r),
+				slog.String("stack", string(debug.Stack())))
 			out, err = nil, fmt.Errorf("jobs: contained panic (%v): %w", r, pipeline.ErrPanic)
 		}
 	}()

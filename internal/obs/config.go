@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// LoadFlags is the single config layer for a daemon built on the
+// standard flag package: one FlagSet defines the vocabulary once, and
+// values resolve with the precedence
+//
+//	command-line flag  >  <prefix><NAME> env var  >  config file  >  flag default
+//
+// The config file (named by the flag configFlag, or by its env
+// variable) is a flat JSON object whose keys are flag names; values may
+// be JSON strings, numbers, or booleans. Unknown keys are an error —
+// a typoed setting must fail startup, not silently do nothing. Env
+// variable names derive from flag names: uppercase, dashes to
+// underscores (-cache-bytes → <prefix>CACHE_BYTES).
+//
+// args are the raw command-line arguments (os.Args[1:]); lookupEnv is
+// os.LookupEnv (injectable for tests). Pass configFlag "" to disable
+// file loading.
+func LoadFlags(fs *flag.FlagSet, args []string, prefix string, lookupEnv func(string) (string, bool), configFlag string) error {
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	setOnCommandLine := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { setOnCommandLine[f.Name] = true })
+
+	// Resolve the config file path with the same precedence as any other
+	// setting (flag > env); it obviously cannot come from the file.
+	var fileValues map[string]string
+	if configFlag != "" {
+		path := ""
+		if f := fs.Lookup(configFlag); f != nil {
+			path = f.Value.String()
+		}
+		if !setOnCommandLine[configFlag] {
+			if v, ok := lookupEnv(EnvName(prefix, configFlag)); ok {
+				path = v
+			}
+		}
+		if path != "" {
+			var err error
+			fileValues, err = readConfigFile(path, fs, configFlag)
+			if err != nil {
+				return err
+			}
+		}
+	}
+
+	var err error
+	fs.VisitAll(func(f *flag.Flag) {
+		if err != nil || setOnCommandLine[f.Name] || f.Name == configFlag {
+			return
+		}
+		if v, ok := lookupEnv(EnvName(prefix, f.Name)); ok {
+			if serr := fs.Set(f.Name, v); serr != nil {
+				err = fmt.Errorf("env %s: %w", EnvName(prefix, f.Name), serr)
+			}
+			return
+		}
+		if v, ok := fileValues[f.Name]; ok {
+			if serr := fs.Set(f.Name, v); serr != nil {
+				err = fmt.Errorf("config file key %q: %w", f.Name, serr)
+			}
+		}
+	})
+	return err
+}
+
+// EnvName derives the environment variable for a flag name: prefix plus
+// the uppercased, dash-to-underscore flag name.
+func EnvName(prefix, flagName string) string {
+	return prefix + strings.ToUpper(strings.ReplaceAll(flagName, "-", "_"))
+}
+
+// readConfigFile parses the flat JSON config object and stringifies
+// every value for flag.Value.Set. Keys that name no registered flag
+// (or the config flag itself, which cannot meaningfully come from the
+// file) are rejected.
+func readConfigFile(path string, fs *flag.FlagSet, configFlag string) (map[string]string, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("reading config file: %w", err)
+	}
+	var raw map[string]any
+	if err := json.Unmarshal(b, &raw); err != nil {
+		return nil, fmt.Errorf("config file %s: %w", path, err)
+	}
+	out := make(map[string]string, len(raw))
+	for key, val := range raw {
+		if fs.Lookup(key) == nil || key == configFlag {
+			return nil, fmt.Errorf("config file %s: unknown setting %q", path, key)
+		}
+		switch v := val.(type) {
+		case string:
+			out[key] = v
+		case bool:
+			out[key] = fmt.Sprintf("%t", v)
+		case float64:
+			// JSON numbers arrive as float64; render integers without a
+			// decimal point so int flags parse.
+			if v == float64(int64(v)) {
+				out[key] = fmt.Sprintf("%d", int64(v))
+			} else {
+				out[key] = fmt.Sprintf("%g", v)
+			}
+		default:
+			return nil, fmt.Errorf("config file %s: setting %q must be a string, number, or boolean", path, key)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// testFlagSet builds the kind of FlagSet tcompd uses.
+func testFlagSet() (*flag.FlagSet, *string, *int64, *time.Duration, *bool, *string) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	addr := fs.String("addr", ":8077", "")
+	cache := fs.Int64("cache-bytes", 256<<20, "")
+	drain := fs.Duration("drain-timeout", 30*time.Second, "")
+	pprof := fs.Bool("pprof", false, "")
+	config := fs.String("config", "", "")
+	return fs, addr, cache, drain, pprof, config
+}
+
+func env(m map[string]string) func(string) (string, bool) {
+	return func(k string) (string, bool) { v, ok := m[k]; return v, ok }
+}
+
+// TestConfigPrecedence pins the documented resolution order:
+// flag > env > file > default, per setting independently.
+func TestConfigPrecedence(t *testing.T) {
+	file := filepath.Join(t.TempDir(), "tcompd.json")
+	if err := os.WriteFile(file, []byte(`{
+		"addr": "file:1",
+		"cache-bytes": 111,
+		"drain-timeout": "5s",
+		"pprof": true
+	}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fs, addr, cache, drain, pprof, _ := testFlagSet()
+	// addr: set on the command line AND in env AND in the file → flag wins.
+	// cache-bytes: env and file → env wins.
+	// drain-timeout: file only → file wins.
+	// pprof: file only → file wins (boolean).
+	err := LoadFlags(fs, []string{"-addr", "flag:1", "-config", file}, "TCOMPD_", env(map[string]string{
+		"TCOMPD_ADDR":        "env:1",
+		"TCOMPD_CACHE_BYTES": "222",
+	}), "config")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *addr != "flag:1" {
+		t.Fatalf("addr = %q, want flag value", *addr)
+	}
+	if *cache != 222 {
+		t.Fatalf("cache-bytes = %d, want env value 222", *cache)
+	}
+	if *drain != 5*time.Second {
+		t.Fatalf("drain-timeout = %v, want file value 5s", *drain)
+	}
+	if !*pprof {
+		t.Fatal("pprof = false, want file value true")
+	}
+}
+
+// TestConfigDefaultsSurvive: nothing set anywhere leaves the flag
+// defaults untouched.
+func TestConfigDefaultsSurvive(t *testing.T) {
+	fs, addr, cache, drain, pprof, _ := testFlagSet()
+	if err := LoadFlags(fs, nil, "TCOMPD_", env(nil), "config"); err != nil {
+		t.Fatal(err)
+	}
+	if *addr != ":8077" || *cache != 256<<20 || *drain != 30*time.Second || *pprof {
+		t.Fatalf("defaults mutated: addr=%q cache=%d drain=%v pprof=%v", *addr, *cache, *drain, *pprof)
+	}
+}
+
+// TestConfigFileFromEnv: the config file path itself resolves through
+// the env layer when the flag is not given.
+func TestConfigFileFromEnv(t *testing.T) {
+	file := filepath.Join(t.TempDir(), "tcompd.json")
+	if err := os.WriteFile(file, []byte(`{"addr": "from-file:9"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fs, addr, _, _, _, _ := testFlagSet()
+	err := LoadFlags(fs, nil, "TCOMPD_", env(map[string]string{"TCOMPD_CONFIG": file}), "config")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *addr != "from-file:9" {
+		t.Fatalf("addr = %q, want value from env-named config file", *addr)
+	}
+}
+
+// TestConfigRejectsUnknownKey: a typoed file setting fails startup.
+func TestConfigRejectsUnknownKey(t *testing.T) {
+	file := filepath.Join(t.TempDir(), "tcompd.json")
+	if err := os.WriteFile(file, []byte(`{"adddr": ":1"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fs, _, _, _, _, _ := testFlagSet()
+	if err := LoadFlags(fs, []string{"-config", file}, "TCOMPD_", env(nil), "config"); err == nil {
+		t.Fatal("unknown config key did not fail")
+	}
+}
+
+// TestConfigRejectsBadEnvValue: an unparsable env value names the
+// variable in the error instead of being ignored.
+func TestConfigRejectsBadEnvValue(t *testing.T) {
+	fs, _, _, _, _, _ := testFlagSet()
+	err := LoadFlags(fs, nil, "TCOMPD_", env(map[string]string{"TCOMPD_CACHE_BYTES": "lots"}), "config")
+	if err == nil {
+		t.Fatal("bad env value did not fail")
+	}
+}
+
+// TestEnvName pins the flag→env derivation rule.
+func TestEnvName(t *testing.T) {
+	if got := EnvName("TCOMPD_", "cache-input-cap"); got != "TCOMPD_CACHE_INPUT_CAP" {
+		t.Fatalf("EnvName = %q", got)
+	}
+}

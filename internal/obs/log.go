@@ -1,0 +1,44 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// Log formats accepted by NewLogger.
+const (
+	LogText = "text" // key=value pairs, human-first (slog.TextHandler)
+	LogJSON = "json" // one JSON object per line, machine-first
+)
+
+// NewLogger builds a leveled structured logger writing to w. format is
+// LogText or LogJSON; anything else is an error, not a fallback, so a
+// typo in -log-format fails loudly at startup instead of silently
+// switching schema.
+func NewLogger(w io.Writer, level slog.Level, format string) (*slog.Logger, error) {
+	opts := &slog.HandlerOptions{Level: level}
+	switch format {
+	case LogText, "":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case LogJSON:
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	}
+	return nil, fmt.Errorf("obs: unknown log format %q (want %s or %s)", format, LogText, LogJSON)
+}
+
+// ParseLevel maps a config string onto a slog level.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info", "":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("obs: unknown log level %q (want debug, info, warn, or error)", s)
+}

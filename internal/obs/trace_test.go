@@ -1,0 +1,60 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestTraceContext: the trace rides the context; stages accumulate; the
+// nil trace (no middleware upstream) is a safe no-op.
+func TestTraceContext(t *testing.T) {
+	tr := NewTrace("abc123")
+	ctx := WithTrace(context.Background(), tr)
+	if RequestID(ctx) != "abc123" {
+		t.Fatalf("RequestID = %q", RequestID(ctx))
+	}
+	AddStage(ctx, "read", 2*time.Millisecond)
+	AddStage(ctx, "compress", 5*time.Millisecond)
+	stages := tr.Stages()
+	if len(stages) != 2 || stages[0].Name != "read" || stages[1].Duration != 5*time.Millisecond {
+		t.Fatalf("stages = %v", stages)
+	}
+
+	// Absent trace: everything no-ops.
+	bare := context.Background()
+	if RequestID(bare) != "" {
+		t.Fatalf("RequestID on bare context = %q", RequestID(bare))
+	}
+	AddStage(bare, "x", time.Second) // must not panic
+	if TraceFrom(bare).RequestID() != "" {
+		t.Fatal("nil trace must answer empty request ID")
+	}
+}
+
+// TestNewTraceMintsID: an empty ID gets a fresh 16-hex one.
+func TestNewTraceMintsID(t *testing.T) {
+	a, b := NewTrace(""), NewTrace("")
+	if len(a.RequestID()) != 16 || a.RequestID() == b.RequestID() {
+		t.Fatalf("minted IDs %q, %q", a.RequestID(), b.RequestID())
+	}
+}
+
+// TestSanitizeRequestID: hostile client-supplied IDs (log injection,
+// exposition breakage, oversized) are rejected; plain tokens pass.
+func TestSanitizeRequestID(t *testing.T) {
+	for _, ok := range []string{"abc", "req-42_x.y:z", "0123456789abcdef"} {
+		if SanitizeRequestID(ok) != ok {
+			t.Fatalf("rejected valid ID %q", ok)
+		}
+	}
+	for _, bad := range []string{
+		"", "has space", "new\nline", `back\slash`, `quo"te`, "tab\there",
+		strings.Repeat("x", 65), "\x00", "ünïcode",
+	} {
+		if got := SanitizeRequestID(bad); got != "" {
+			t.Fatalf("accepted hostile ID %q as %q", bad, got)
+		}
+	}
+}

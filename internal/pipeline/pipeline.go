@@ -26,6 +26,9 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // ErrAborted marks jobs the engine skipped because an earlier job failed
@@ -82,9 +85,21 @@ func (l *Limiter) TryAcquire() bool {
 // callers always have inline execution as a fallback. Never call Acquire
 // while already holding a token from the same Limiter: unlike TryAcquire
 // it can wait, and a hold-and-wait cycle is a deadlock.
+//
+// Time spent waiting for a token is recorded as a queue_wait stage on
+// the context's request trace (a no-op outside a traced request). The
+// uncontended path records nothing: queue_wait only appears on requests
+// that actually queued.
 func (l *Limiter) Acquire(ctx context.Context) error {
 	select {
 	case l.tokens <- struct{}{}:
+		return nil
+	default:
+	}
+	start := time.Now()
+	select {
+	case l.tokens <- struct{}{}:
+		obs.AddStage(ctx, "queue_wait", time.Since(start))
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()

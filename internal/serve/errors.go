@@ -43,7 +43,6 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"log"
 	"net/http"
 
 	"repro/internal/pipeline"
@@ -88,28 +87,34 @@ func statusOf(code string) int {
 	}
 }
 
-// ErrorBody is the JSON error object of every non-2xx answer.
+// ErrorBody is the JSON error object of every non-2xx answer. RequestID
+// echoes the response's X-Request-Id when the request passed through the
+// instrument middleware, so a client error report names the exact
+// server-side trace to grep the logs for.
 type ErrorBody struct {
-	Code   string `json:"code"`
-	Error  string `json:"error"`
-	Status int    `json:"status"`
+	Code      string `json:"code"`
+	Error     string `json:"error"`
+	Status    int    `json:"status"`
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // writeError answers with the taxonomy's JSON error object. It must only
-// be called before any body bytes have been written.
+// be called before any body bytes have been written. The request ID is
+// read back from the response header the middleware set — writeError
+// keeps its context-free signature, which every handler and test relies
+// on.
 func writeError(w http.ResponseWriter, code string, format string, args ...any) {
 	status := statusOf(code)
 	h := w.Header()
 	h.Set("Content-Type", "application/json; charset=utf-8")
 	h.Set("X-Tcomp-Error-Code", code)
 	w.WriteHeader(status)
-	if err := json.NewEncoder(w).Encode(ErrorBody{
-		Code:   code,
-		Error:  fmt.Sprintf(format, args...),
-		Status: status,
-	}); err != nil {
-		log.Printf("serve: writing error body: %v", err)
-	}
+	_ = json.NewEncoder(w).Encode(ErrorBody{ // client gone: nothing to do
+		Code:      code,
+		Error:     fmt.Sprintf(format, args...),
+		Status:    status,
+		RequestID: h.Get("X-Request-Id"),
+	})
 }
 
 // bodyErrorCode spots a request body that hit the MaxBytesReader cap —

@@ -87,7 +87,7 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	spec.Input = d
-	j, err := s.jobs.Submit(spec)
+	j, err := s.jobs.SubmitCtx(r.Context(), spec)
 	if err != nil {
 		switch {
 		case errors.Is(err, jobs.ErrQueueFull):

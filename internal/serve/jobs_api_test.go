@@ -8,7 +8,6 @@ import (
 	"bytes"
 	"context"
 	"errors"
-	"expvar"
 	"net/http/httptest"
 	"path/filepath"
 	"strings"
@@ -83,7 +82,7 @@ func jobCounter(s *Server, key string) int64 {
 	if v == nil {
 		return 0
 	}
-	return v.(*expvar.Int).Value()
+	return v.Value()
 }
 
 // waitJobCounter polls a jobs counter up to its expected value: the

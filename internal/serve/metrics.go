@@ -4,68 +4,100 @@ import (
 	"expvar"
 	"fmt"
 	"net/http"
-	"strings"
-	"sync"
+
+	"repro/internal/obs"
 )
 
-// Metrics is the daemon's counter set, built from expvar primitives but
-// rooted in a private Map rather than the process-global registry, so
-// every Server (and every httptest instance in the test suite) gets an
-// independent namespace. GET /metrics serves the root map's JSON.
+// Metrics is the daemon's counter set, built on the lock-free obs
+// primitives. Every primitive implements expvar.Var and is rooted in a
+// private expvar.Map rather than the process-global registry, so every
+// Server (and every httptest instance in the test suite) gets an
+// independent namespace and GET /metrics keeps serving the JSON
+// snapshot it always has. The same primitives are registered — by
+// reference, no double accounting — in a Prometheus text-exposition
+// registry served at GET /metrics/prometheus.
 type Metrics struct {
 	root *expvar.Map
+	prom *obs.Registry
 
 	// Requests counts completed requests per endpoint path.
-	Requests *expvar.Map
+	Requests *obs.LabelCounter
+	// Latency is the per-endpoint request-duration histogram (seconds).
+	Latency *obs.HistogramVec
 	// InFlight is the number of requests currently being served.
-	InFlight *expvar.Int
+	InFlight *obs.Gauge
 	// WorkersBusy is the number of requests currently holding a token of
-	// the shared worker budget; WorkersPeak is its high-water mark.
-	WorkersBusy *expvar.Int
-	WorkersPeak *expvar.Int
+	// the shared worker budget; WorkersPeak is its high-water mark,
+	// maintained with an atomic compare-and-swap max (the historical
+	// check-then-set under a mutex could under-report the peak when the
+	// busy reading raced a concurrent release).
+	WorkersBusy *obs.Gauge
+	WorkersPeak *obs.Gauge
 	// BytesIn / BytesOut count request-body bytes consumed and
 	// response-body bytes produced by the compress/decompress endpoints.
-	BytesIn  *expvar.Int
-	BytesOut *expvar.Int
+	BytesIn  *obs.Counter
+	BytesOut *obs.Counter
 	// CacheHits / CacheMisses count result-cache lookups on /v1/compress;
 	// CacheEvictions counts entries the LRU budget pushed out. The root
 	// map also exposes cache_hit_ratio, a gauge computed from the two
 	// lookup counters (0 until the first lookup).
-	CacheHits      *expvar.Int
-	CacheMisses    *expvar.Int
-	CacheEvictions *expvar.Int
+	CacheHits      *obs.Counter
+	CacheMisses    *obs.Counter
+	CacheEvictions *obs.Counter
 	// Jobs counts async job lifecycle events: submitted, done, failed,
 	// cancelled, and queue_full rejections.
-	Jobs *expvar.Map
+	Jobs *obs.LabelCounter
 	// Errors counts requests that ended in a non-2xx status.
-	Errors *expvar.Int
+	Errors *obs.Counter
 	// Panics counts panics contained by the request middleware — each is
 	// a bug that degraded one request instead of killing the daemon.
 	// Alert on this: it should stay at zero.
-	Panics *expvar.Int
+	Panics *obs.Counter
 
-	mu    sync.Mutex
-	rates map[string]*RateHistogram // per-codec compression-rate histograms
-	rmap  *expvar.Map
+	// Rates holds the per-codec compression-rate histograms (paper-style
+	// rate percent; the first bucket collects runs where the coded
+	// stream grew past the original).
+	Rates *obs.HistogramVec
 }
+
+// latencyBuckets are the request-duration histogram bounds in seconds:
+// sub-millisecond health probes up through multi-minute giant-set
+// compressions.
+var latencyBuckets = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
+}
+
+// rateBuckets are the compression-rate histogram bounds in rate
+// percent, following the paper's definition 100·(orig−comp)/orig: the
+// <=0 bucket collects runs where the coded stream grew, then ten-point
+// decades up to 100.
+var rateBuckets = []float64{0, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
 
 func newMetrics() *Metrics {
 	m := &Metrics{
-		Requests:       new(expvar.Map).Init(),
-		InFlight:       new(expvar.Int),
-		WorkersBusy:    new(expvar.Int),
-		WorkersPeak:    new(expvar.Int),
-		BytesIn:        new(expvar.Int),
-		BytesOut:       new(expvar.Int),
-		CacheHits:      new(expvar.Int),
-		CacheMisses:    new(expvar.Int),
-		CacheEvictions: new(expvar.Int),
-		Jobs:           new(expvar.Map).Init(),
-		Errors:         new(expvar.Int),
-		Panics:         new(expvar.Int),
-		rates:          map[string]*RateHistogram{},
-		rmap:           new(expvar.Map).Init(),
+		Requests:       &obs.LabelCounter{},
+		Latency:        obs.NewHistogramVec(latencyBuckets...),
+		InFlight:       &obs.Gauge{},
+		WorkersBusy:    &obs.Gauge{},
+		WorkersPeak:    &obs.Gauge{},
+		BytesIn:        &obs.Counter{},
+		BytesOut:       &obs.Counter{},
+		CacheHits:      &obs.Counter{},
+		CacheMisses:    &obs.Counter{},
+		CacheEvictions: &obs.Counter{},
+		Jobs:           &obs.LabelCounter{},
+		Errors:         &obs.Counter{},
+		Panics:         &obs.Counter{},
+		Rates:          obs.NewHistogramVec(rateBuckets...),
 	}
+	hitRatio := func() float64 {
+		hits, misses := m.CacheHits.Value(), m.CacheMisses.Value()
+		if hits+misses == 0 {
+			return 0.0
+		}
+		return float64(hits) / float64(hits+misses)
+	}
+
 	m.root = new(expvar.Map).Init()
 	m.root.Set("requests", m.Requests)
 	m.root.Set("in_flight", m.InFlight)
@@ -76,48 +108,51 @@ func newMetrics() *Metrics {
 	m.root.Set("cache_hits", m.CacheHits)
 	m.root.Set("cache_misses", m.CacheMisses)
 	m.root.Set("cache_evictions", m.CacheEvictions)
-	m.root.Set("cache_hit_ratio", expvar.Func(func() any {
-		hits, misses := m.CacheHits.Value(), m.CacheMisses.Value()
-		if hits+misses == 0 {
-			return 0.0
-		}
-		return float64(hits) / float64(hits+misses)
-	}))
+	m.root.Set("cache_hit_ratio", expvar.Func(func() any { return hitRatio() }))
 	m.root.Set("jobs", m.Jobs)
 	m.root.Set("errors", m.Errors)
 	m.root.Set("panics", m.Panics)
-	m.root.Set("compression_rate", m.rmap)
+	m.root.Set("compression_rate", m.Rates)
+	m.root.Set("request_latency", m.Latency)
+
+	// The Prometheus view over the same primitives. Names follow the
+	// exposition conventions: _total counters, base-unit seconds.
+	// Keep this table in sync with the README's metric-name table.
+	p := obs.NewRegistry()
+	p.CounterVec("tcompd_requests_total", "Completed requests per endpoint path.", "path", m.Requests)
+	p.HistogramVec("tcompd_request_duration_seconds", "Request latency per endpoint path.", "path", m.Latency)
+	p.Gauge("tcompd_in_flight_requests", "Requests currently being served.", m.InFlight)
+	p.Gauge("tcompd_workers_busy", "Requests currently holding a shared worker token.", m.WorkersBusy)
+	p.Gauge("tcompd_workers_peak", "High-water mark of concurrently held worker tokens.", m.WorkersPeak)
+	p.Counter("tcompd_bytes_in_total", "Request-body bytes consumed.", m.BytesIn)
+	p.Counter("tcompd_bytes_out_total", "Response-body bytes produced.", m.BytesOut)
+	p.Counter("tcompd_cache_hits_total", "Result-cache hits.", m.CacheHits)
+	p.Counter("tcompd_cache_misses_total", "Result-cache misses.", m.CacheMisses)
+	p.Counter("tcompd_cache_evictions_total", "Result-cache LRU evictions.", m.CacheEvictions)
+	p.GaugeFunc("tcompd_cache_hit_ratio", "Cache hits over lookups (0 until the first lookup).", hitRatio)
+	p.CounterVec("tcompd_jobs_total", "Async job lifecycle events.", "event", m.Jobs)
+	p.Counter("tcompd_errors_total", "Requests answered with a non-2xx status.", m.Errors)
+	p.Counter("tcompd_panics_total", "Panics contained by the request middleware.", m.Panics)
+	p.HistogramVec("tcompd_compression_rate_percent", "Compression rate per codec, paper-style percent.", "codec", m.Rates)
+	m.prom = p
 	return m
 }
 
 // ObserveRate records one compression run's paper-style rate (percent)
 // under the codec's histogram, creating it on first use.
 func (m *Metrics) ObserveRate(codec string, rate float64) {
-	m.mu.Lock()
-	h, ok := m.rates[codec]
-	if !ok {
-		h = &RateHistogram{}
-		m.rates[codec] = h
-		m.rmap.Set(codec, h)
-	}
-	m.mu.Unlock()
-	h.Observe(rate)
+	m.Rates.Observe(codec, rate)
 }
 
-// noteWorker tracks the shared-budget occupancy high-water mark.
-// expvar.Int has no compare-and-swap, so the peak update runs under the
-// metrics lock.
+// noteWorker tracks the shared-budget occupancy and its high-water
+// mark. The atomic Add returns the exact occupancy this caller created,
+// and SetMax folds it into the peak with a CAS loop — no window for a
+// concurrent release to make the peak under-report.
 func (m *Metrics) noteWorker(delta int64) {
-	m.WorkersBusy.Add(delta)
-	if delta <= 0 {
-		return
+	busy := m.WorkersBusy.Add(delta)
+	if delta > 0 {
+		m.WorkersPeak.SetMax(busy)
 	}
-	busy := m.WorkersBusy.Value()
-	m.mu.Lock()
-	if m.WorkersPeak.Value() < busy {
-		m.WorkersPeak.Set(busy)
-	}
-	m.mu.Unlock()
 }
 
 // String returns the metrics snapshot as a JSON object.
@@ -133,65 +168,6 @@ func (m *Metrics) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, m.root.String())
 }
 
-// rateBuckets are the histogram bucket upper bounds in rate percent. A
-// compression rate can be negative (the coded stream grew), so the first
-// bucket is open below.
-var rateBuckets = []float64{0, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
-
-// RateHistogram is a fixed-bucket histogram of compression rates,
-// exposed as an expvar.Var. Buckets follow the paper's rate definition
-// 100·(orig−comp)/orig: "<0" collects runs where the coded stream grew,
-// then ten-point decades up to 100.
-type RateHistogram struct {
-	mu      sync.Mutex
-	buckets [12]int64
-	count   int64
-	sum     float64
-}
-
-// Observe records one rate observation (percent).
-func (h *RateHistogram) Observe(rate float64) {
-	idx := len(rateBuckets)
-	for i, ub := range rateBuckets {
-		if rate <= ub {
-			idx = i
-			break
-		}
-	}
-	h.mu.Lock()
-	h.buckets[idx]++
-	h.count++
-	h.sum += rate
-	h.mu.Unlock()
-}
-
-// String renders the histogram as JSON (count, mean, bucket counts).
-func (h *RateHistogram) String() string {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	var b strings.Builder
-	mean := 0.0
-	if h.count > 0 {
-		mean = h.sum / float64(h.count)
-	}
-	fmt.Fprintf(&b, `{"count":%d,"mean":%.2f,"buckets":{`, h.count, mean)
-	for i := range h.buckets {
-		if i > 0 {
-			b.WriteByte(',')
-		}
-		fmt.Fprintf(&b, "%q:%d", bucketLabel(i), h.buckets[i])
-	}
-	b.WriteString("}}")
-	return b.String()
-}
-
-func bucketLabel(i int) string {
-	switch {
-	case i == 0:
-		return "<0"
-	case i < len(rateBuckets):
-		return fmt.Sprintf("%g-%g", rateBuckets[i-1], rateBuckets[i])
-	default:
-		return ">100"
-	}
-}
+// Prometheus returns the text-exposition registry (served at
+// GET /metrics/prometheus).
+func (m *Metrics) Prometheus() *obs.Registry { return m.prom }

@@ -45,21 +45,22 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
-	"expvar"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net/http"
 	"net/url"
 	"runtime"
 	"runtime/debug"
 	"strconv"
 	"sync/atomic"
+	"time"
 
 	tcomp "repro"
 	"repro/internal/artifact"
 	"repro/internal/container"
 	"repro/internal/jobs"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/testset"
 )
@@ -95,6 +96,9 @@ type Config struct {
 	// MaxQueuedJobs bounds the async backlog; submissions beyond it get
 	// 429 queue_full. <= 0 means 64.
 	MaxQueuedJobs int
+	// Logger receives the daemon's structured logs (request completions,
+	// contained panics, job transitions). Nil means slog.Default().
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -116,6 +120,7 @@ type Server struct {
 	lim      *pipeline.Limiter
 	cache    *Cache
 	metrics  *Metrics
+	log      *slog.Logger
 	store    artifact.Store // job inputs and outputs
 	jobs     *jobs.Manager
 	mux      *http.ServeMux
@@ -127,11 +132,16 @@ type Server struct {
 // unusable. Call Close on shutdown to stop the job manager.
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.Default()
+	}
 	s := &Server{
 		cfg:     cfg,
 		lim:     pipeline.NewLimiter(cfg.Workers),
 		cache:   NewCache(cfg.CacheBytes),
 		metrics: newMetrics(),
+		log:     logger,
 	}
 	s.cache.onEvict = func() { s.metrics.CacheEvictions.Add(1) }
 	store := cfg.JobStore
@@ -145,6 +155,7 @@ func New(cfg Config) (*Server, error) {
 		Workers:   cfg.JobWorkers,
 		MaxQueued: cfg.MaxQueuedJobs,
 		Limiter:   s.lim,
+		Logger:    logger,
 		ErrorCode: jobTaxonomyCode,
 		Observe: func(j jobs.Job) {
 			switch j.State {
@@ -171,6 +182,7 @@ func New(cfg Config) (*Server, error) {
 	mux.Handle("/v1/jobs/", s.instrument("/v1/jobs/", s.handleJobByID))
 	mux.Handle("/healthz", s.instrument("/healthz", s.handleHealthz))
 	mux.Handle("/metrics", s.instrument("/metrics", s.metrics.ServeHTTP))
+	mux.Handle("/metrics/prometheus", s.instrument("/metrics/prometheus", s.metrics.Prometheus().ServeHTTP))
 	s.mux = mux
 	return s, nil
 }
@@ -213,23 +225,51 @@ func (s *Server) StartDrain() { s.draining.Store(true) }
 // Draining reports whether StartDrain has been called.
 func (s *Server) Draining() bool { return s.draining.Load() }
 
-// instrument wraps a handler with the request counter, the in-flight
-// gauge, error accounting, and the crash-containment boundary: a panic
-// escaping the handler (on the request goroutine — worker-goroutine
-// panics are already converted to job errors by the pipeline engine) is
-// recovered here, counted, logged with its stack, and answered as a 500
-// internal_panic. One buggy request degrades to one error response; the
-// daemon keeps serving everyone else.
+// instrument wraps a handler with the observability envelope: the
+// request trace (an X-Request-Id minted here — or accepted from the
+// client after sanitization — set on the response up front, carried
+// through context into the jobs and pipeline layers, and stamped on
+// every log line and error body), the request counter, the per-endpoint
+// latency histogram, the in-flight gauge, error accounting, a
+// structured request-completion log line, and the crash-containment
+// boundary: a panic escaping the handler (on the request goroutine —
+// worker-goroutine panics are already converted to job errors by the
+// pipeline engine) is recovered here, counted, logged with its stack,
+// and answered as a 500 internal_panic. One buggy request degrades to
+// one error response; the daemon keeps serving everyone else.
 func (s *Server) instrument(path string, h http.HandlerFunc) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		tr := obs.NewTrace(obs.SanitizeRequestID(r.Header.Get("X-Request-Id")))
+		r = r.WithContext(obs.WithTrace(r.Context(), tr))
+		w.Header().Set("X-Request-Id", tr.RequestID())
 		s.metrics.InFlight.Add(1)
 		defer s.metrics.InFlight.Add(-1)
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 		account := func() {
+			elapsed := time.Since(start)
 			s.metrics.Requests.Add(path, 1)
+			s.metrics.Latency.Observe(path, elapsed.Seconds())
 			if sw.code >= 400 {
 				s.metrics.Errors.Add(1)
 			}
+			// Health probes and scrapes log at debug — they would drown
+			// the data-plane lines at every monitoring interval.
+			level := slog.LevelInfo
+			if path == "/healthz" || path == "/metrics" || path == "/metrics/prometheus" {
+				level = slog.LevelDebug
+			}
+			if sw.code >= 500 {
+				level = slog.LevelError
+			}
+			attrs := append([]any{
+				slog.String("request_id", tr.RequestID()),
+				slog.String("method", r.Method),
+				slog.String("path", path),
+				slog.Int("status", sw.code),
+				slog.Duration("duration", elapsed),
+			}, tr.StageAttrs()...)
+			s.log.Log(r.Context(), level, "request", attrs...)
 		}
 		defer func() {
 			p := recover()
@@ -244,7 +284,11 @@ func (s *Server) instrument(path string, h http.HandlerFunc) http.Handler {
 				panic(p)
 			}
 			s.metrics.Panics.Add(1)
-			log.Printf("serve: contained panic on %s: %v\n%s", path, p, debug.Stack())
+			s.log.Error("contained panic",
+				slog.String("request_id", tr.RequestID()),
+				slog.String("path", path),
+				slog.Any("panic", p),
+				slog.String("stack", string(debug.Stack())))
 			if !sw.wrote {
 				writeError(sw, CodeInternalPanic, "internal error (contained panic): %v", p)
 				account()
@@ -342,7 +386,7 @@ func (a *abortWriter) Write(p []byte) (int, error) {
 // countingReader/countingWriter feed the bytes_in/bytes_out counters.
 type countingReader struct {
 	r io.Reader
-	n *expvar.Int
+	n *obs.Counter
 }
 
 func (c *countingReader) Read(p []byte) (int, error) {
@@ -353,7 +397,7 @@ func (c *countingReader) Read(p []byte) (int, error) {
 
 type countingWriter struct {
 	w io.Writer
-	n *expvar.Int
+	n *obs.Counter
 }
 
 func (c *countingWriter) Write(p []byte) (int, error) {
@@ -529,6 +573,7 @@ func (s *Server) handleCompress(w http.ResponseWriter, r *http.Request) {
 	body := &countingReader{r: http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes), n: s.metrics.BytesIn}
 	br := getBufReader(body)
 	defer putBufReader(br)
+	readStart := time.Now()
 	if peek, err := br.Peek(4); err == nil && string(peek) == "TSET" {
 		// Binary test-set body: the format is already in-memory-sized
 		// (bounded by MaxBodyBytes), so take the buffered path. Cache
@@ -540,6 +585,7 @@ func (s *Server) handleCompress(w http.ResponseWriter, r *http.Request) {
 			writeError(w, bodyErrorCode(err, CodeBadRequest), "bad binary test set: %v", err)
 			return
 		}
+		obs.AddStage(r.Context(), "read", time.Since(readStart))
 		canonical := int64(ts.NumPatterns()) * int64(ts.Width+1)
 		s.compressBuffered(w, r, req, ts, canonical <= s.cfg.CacheInputBytes)
 		return
@@ -575,6 +621,7 @@ func (s *Server) handleCompress(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if !overCap {
+		obs.AddStage(r.Context(), "read", time.Since(readStart))
 		s.compressBuffered(w, r, req, ts, true)
 		return
 	}
@@ -611,6 +658,7 @@ func (s *Server) compressBuffered(w http.ResponseWriter, r *http.Request, req *c
 		}
 		s.metrics.CacheMisses.Add(1)
 	}
+	compressStart := time.Now()
 	res, err := s.compressToMemory(r, req, ts)
 	if err != nil {
 		if r.Context().Err() != nil {
@@ -619,6 +667,7 @@ func (s *Server) compressBuffered(w http.ResponseWriter, r *http.Request, req *c
 		writeError(w, compressErrorCode(err), "compress: %v", err)
 		return
 	}
+	obs.AddStage(r.Context(), "compress", time.Since(compressStart))
 	s.metrics.ObserveRate(req.codecName, res.RatePercent())
 	if key != "" {
 		s.cache.Put(key, res)
@@ -627,7 +676,9 @@ func (s *Server) compressBuffered(w http.ResponseWriter, r *http.Request, req *c
 	if key != "" {
 		cacheState = "miss"
 	}
+	writeStart := time.Now()
 	s.writeResult(w, res, cacheState)
+	obs.AddStage(r.Context(), "write", time.Since(writeStart))
 }
 
 // compressToMemory runs the actual codec work for a buffered request.
@@ -694,6 +745,8 @@ func (s *Server) writeResult(w http.ResponseWriter, res *Result, cacheState stri
 // truncated container that any consumer's parser rejects, trailer-aware
 // or not — and names the reason in X-Tcomp-Error.
 func (s *Server) compressStream(w http.ResponseWriter, r *http.Request, req *compressRequest, prefix *testset.TestSet, sc *testset.Scanner, body io.Reader) {
+	streamStart := time.Now()
+	defer func() { obs.AddStage(r.Context(), "stream", time.Since(streamStart)) }()
 	enableFullDuplex(w)
 	h := w.Header()
 	h.Set("Content-Type", "application/octet-stream")
@@ -776,11 +829,13 @@ func (s *Server) handleDecompress(w http.ResponseWriter, r *http.Request) {
 			writeError(w, bodyErrorCode(err, CodeCorruptContainer), "bad container: %v", err)
 			return
 		}
+		decodeStart := time.Now()
 		ts, err := tcomp.Decompress(art)
 		if err != nil {
 			writeError(w, decodeErrorCode(err), "decompress: %v", err)
 			return
 		}
+		obs.AddStage(r.Context(), "decompress", time.Since(decodeStart))
 		h := w.Header()
 		h.Set("Content-Type", "text/plain; charset=utf-8")
 		h.Set("X-Tcomp-Codec", art.Codec)
@@ -794,6 +849,8 @@ func (s *Server) handleDecompress(w http.ResponseWriter, r *http.Request) {
 		writeError(w, bodyErrorCode(err, CodeCorruptContainer), "bad chunked container: %v", err)
 		return
 	}
+	streamStart := time.Now()
+	defer func() { obs.AddStage(r.Context(), "stream", time.Since(streamStart)) }()
 	enableFullDuplex(w)
 	h := w.Header()
 	h.Set("Content-Type", "text/plain; charset=utf-8")
