@@ -13,6 +13,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/testset"
 )
 
@@ -252,6 +253,7 @@ func trailerError(resp *http.Response) error {
 }
 
 func (c *Client) do(req *http.Request) (*http.Response, error) {
+	injectTraceparent(req)
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
 		return nil, err
@@ -261,6 +263,36 @@ func (c *Client) do(req *http.Request) (*http.Response, error) {
 		return nil, apiError(resp)
 	}
 	return resp, nil
+}
+
+// injectTraceparent stamps the W3C traceparent header on an outgoing
+// request: the trace context carried by the request's context (a live
+// span, or one installed with WithTraceparent) when present, otherwise
+// a fresh sampled root minted here — so even a bare CLI call produces
+// one coherent trace on the daemon side.
+func injectTraceparent(req *http.Request) {
+	tp := obs.TraceparentFromContext(req.Context())
+	if tp == "" {
+		tp = obs.FormatTraceparent(obs.TraceContext{
+			TraceID: obs.NewTraceID(),
+			SpanID:  obs.NewSpanID(),
+			Sampled: true,
+		})
+	}
+	req.Header.Set("traceparent", tp)
+}
+
+// WithTraceparent returns a context carrying the given W3C traceparent
+// value, validated exactly like the daemon validates the inbound
+// header. Client calls made with the returned context propagate it to
+// the daemon, joining this process's calls to a trace started
+// elsewhere.
+func WithTraceparent(ctx context.Context, traceparent string) (context.Context, error) {
+	tc, err := obs.ParseTraceparent(traceparent)
+	if err != nil {
+		return ctx, err
+	}
+	return obs.WithTraceContext(ctx, tc), nil
 }
 
 // Compress streams the textual (or binary) test set on patterns through

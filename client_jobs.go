@@ -108,6 +108,9 @@ type JobStatus struct {
 	// the job — the key that links the async record back to the daemon's
 	// structured logs for the submission.
 	RequestID string `json:"request_id,omitempty"`
+	// TraceParent is the W3C trace context the job's worker spans export
+	// under, journalled by the daemon so the link survives a restart.
+	TraceParent string `json:"traceparent,omitempty"`
 }
 
 // Terminal reports whether the job has reached a final state.
@@ -167,6 +170,9 @@ func (c *Client) submitJob(ctx context.Context, q url.Values, body io.Reader, co
 		return nil, err
 	}
 	req.Header.Set("Content-Type", contentType)
+	// Submission bypasses do (it expects 202, not 200) but must inject
+	// the traceparent the same way: the daemon journals it on the job.
+	injectTraceparent(req)
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
 		return nil, err

@@ -77,6 +77,10 @@ func run() int {
 		maxJobs       = flag.Int("max-jobs", 64, "async job backlog bound; submissions beyond it answer 429 queue_full")
 		jobWorkers    = flag.Int("job-workers", 2, "concurrently running background jobs (they also hold shared worker tokens while running)")
 
+		traceExporter = flag.String("trace-exporter", "none", "span exporter: none, otlp (OTLP/HTTP JSON to -trace-endpoint), stdout (JSONL), or file (JSONL to -trace-endpoint path)")
+		traceEndpoint = flag.String("trace-endpoint", "http://localhost:4318/v1/traces", "collector URL for -trace-exporter otlp, or output path for -trace-exporter file")
+		traceSample   = flag.Float64("trace-sample", 1, "fraction of new traces to sample in [0,1]; inbound traceparent sampling decisions are always honored")
+
 		_         = flag.String("config", "", "JSON config file; flags and TCOMPD_* env vars override its settings")
 		logLevel  = flag.String("log-level", "info", "log verbosity: debug, info, warn, or error")
 		logFormat = flag.String("log-format", "text", "log encoding: text or json")
@@ -94,6 +98,12 @@ func run() int {
 	}
 	slog.SetDefault(logger)
 
+	tracer, err := newTracer(*traceExporter, *traceEndpoint, *traceSample)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tcompd:", err)
+		return 2
+	}
+
 	cfg := serve.Config{
 		Workers:         *workers,
 		CacheBytes:      *cacheBytes,
@@ -102,6 +112,7 @@ func run() int {
 		MaxQueuedJobs:   *maxJobs,
 		JobWorkers:      *jobWorkers,
 		Logger:          logger,
+		Tracer:          tracer,
 	}
 	var store *artifact.DiskStore
 	if *storeDir != "" {
@@ -211,9 +222,40 @@ func run() int {
 	if err := s.Close(); err != nil {
 		logger.Warn("stopping job manager", slog.Any("error", err))
 	}
+	// Flush buffered spans after the last request and job have ended,
+	// bounded so a dead collector cannot hold the shutdown hostage.
+	flushCtx, cancelFlush := context.WithTimeout(context.Background(), 5*time.Second)
+	if err := tracer.Shutdown(flushCtx); err != nil {
+		logger.Warn("trace exporter flush incomplete", slog.Any("error", err))
+	}
+	cancelFlush()
 	fmt.Fprintln(os.Stderr, s.Metrics().String())
 	logger.Info("drained; bye")
 	return 0
+}
+
+// newTracer builds the span pipeline from the -trace-* settings. The
+// exporter selects the sink; sample is the ratio for traces this daemon
+// roots itself (inbound traceparent decisions always win).
+func newTracer(exporter, endpoint string, sample float64) (*obs.Tracer, error) {
+	switch exporter {
+	case "", "none":
+		return nil, nil
+	case "otlp":
+		return obs.NewTracer(obs.NewOTLPExporter(obs.OTLPConfig{Endpoint: endpoint}), sample), nil
+	case "stdout":
+		// Spans go to stdout, logs to stderr: the two streams stay
+		// separable under a supervisor.
+		return obs.NewTracer(obs.NewWriterExporter(os.Stdout), sample), nil
+	case "file":
+		f, err := os.OpenFile(endpoint, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("opening trace output file: %w", err)
+		}
+		return obs.NewTracer(obs.NewWriterExporter(f), sample), nil
+	default:
+		return nil, fmt.Errorf("unknown -trace-exporter %q (none, otlp, stdout, or file)", exporter)
+	}
 }
 
 // newLogger builds the daemon's structured logger from the -log-level

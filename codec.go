@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"repro/internal/container"
+	"repro/internal/obs"
 	"repro/internal/runlength"
 )
 
@@ -139,7 +140,10 @@ func Register(c Codec) {
 	registry[name] = c
 }
 
-// Lookup returns the registered codec with the given name.
+// Lookup returns the registered codec with the given name, wrapped so
+// every Compress call records a span on the caller's trace (a no-op
+// outside one). The registry stores the bare codecs, so repeated
+// lookups never stack wrappers.
 func Lookup(name string) (Codec, error) {
 	registryMu.RLock()
 	defer registryMu.RUnlock()
@@ -147,7 +151,22 @@ func Lookup(name string) (Codec, error) {
 	if !ok {
 		return nil, fmt.Errorf("tcomp: unknown codec %q (registered: %v)", name, codecNamesLocked())
 	}
-	return c, nil
+	return tracedCodec{c}, nil
+}
+
+// tracedCodec instruments Compress with a per-call span named
+// "compress <codec>". Decompress has no context to carry a trace, so it
+// passes through; serve's decompress handler times it at the call site.
+type tracedCodec struct {
+	Codec
+}
+
+func (t tracedCodec) Compress(ctx context.Context, ts *TestSet, opts ...Option) (*Artifact, error) {
+	ctx, sp := obs.StartSpan(ctx, "compress "+t.Codec.Name())
+	art, err := t.Codec.Compress(ctx, ts, opts...)
+	sp.SetError(err)
+	sp.End()
+	return art, err
 }
 
 // Codecs returns the sorted names of all registered codecs.

@@ -126,6 +126,11 @@ type Job struct {
 	// job, linking the async record back to the submitting request's
 	// trace. Journalled, so the link survives a restart.
 	RequestID string `json:"request_id,omitempty"`
+	// TraceParent is the W3C trace context of the submitting request, so
+	// the job's worker spans join the submitter's distributed trace.
+	// Journalled: a job re-run after a daemon restart still exports its
+	// spans under the original trace ID.
+	TraceParent string `json:"traceparent,omitempty"`
 }
 
 // Sentinel errors of the Manager API.
@@ -176,6 +181,10 @@ type Config struct {
 	// Logger receives job lifecycle and journal-failure logs. Nil means
 	// slog.Default().
 	Logger *slog.Logger
+	// Tracer mints the per-job root span (joined to the submitting
+	// request's trace via the journalled traceparent). Nil disables span
+	// export; trace context still propagates through the job record.
+	Tracer *obs.Tracer
 }
 
 // state is the Manager's record of one job.
@@ -309,11 +318,12 @@ func (m *Manager) SubmitCtx(ctx context.Context, spec Spec) (Job, error) {
 		return Job{}, err
 	}
 	j := Job{
-		ID:        newID(),
-		Spec:      spec,
-		State:     StatePending,
-		Created:   time.Now(),
-		RequestID: obs.RequestID(ctx),
+		ID:          newID(),
+		Spec:        spec,
+		State:       StatePending,
+		Created:     time.Now(),
+		RequestID:   obs.RequestID(ctx),
+		TraceParent: obs.TraceparentFromContext(ctx),
 	}
 	m.mu.Lock()
 	if m.closing {
@@ -542,6 +552,22 @@ func (m *Manager) run(ctx context.Context, id string) {
 	m.journal(id)
 	m.observe(snap)
 
+	// The job's root span joins the submitting request's trace through
+	// the journalled traceparent — including on a re-run after a daemon
+	// restart, when the submitting process is long gone. Without a
+	// traceparent the tracer mints a fresh trace for the job.
+	var parentTC *obs.TraceContext
+	if snap.TraceParent != "" {
+		if tc, perr := obs.ParseTraceparent(snap.TraceParent); perr == nil {
+			parentTC = &tc
+		}
+	}
+	jctx, jobSpan := m.cfg.Tracer.StartRoot(jctx, "job "+string(snap.Spec.Kind), parentTC)
+	jobSpan.SetAttrs(obs.String("job_id", id))
+	if snap.RequestID != "" {
+		jobSpan.SetAttrs(obs.String("request_id", snap.RequestID))
+	}
+
 	out, err := m.execute(jctx, id, snap)
 
 	m.mu.Lock()
@@ -573,6 +599,11 @@ func (m *Manager) run(ctx context.Context, id string) {
 	}
 	snap = st.job
 	m.mu.Unlock()
+	jobSpan.SetAttrs(obs.String("state", string(snap.State)))
+	if snap.State == StateFailed {
+		jobSpan.SetError(err)
+	}
+	jobSpan.End()
 	m.journal(id)
 	if snap.State != StatePending {
 		m.observe(snap)

@@ -1,0 +1,420 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SpanData is a finished span, flattened for export: the mutable *Span
+// is private to the code that ran the operation; exporters only ever
+// see this immutable record.
+type SpanData struct {
+	TraceID TraceID
+	SpanID  SpanID
+	Parent  SpanID
+	Name    string
+	Start   time.Time
+	End     time.Time
+	Attrs   []Attr
+	Status  string // non-empty = error description
+}
+
+// SpanExporter receives finished spans. ExportSpans must be safe for
+// concurrent use and must not block on slow sinks — a span ends on the
+// request's critical path. Shutdown flushes whatever is buffered,
+// bounded by ctx.
+type SpanExporter interface {
+	ExportSpans(spans []SpanData) error
+	Shutdown(ctx context.Context) error
+}
+
+// ExporterStats is the accounting surface a buffering exporter can
+// expose (the OTLP exporter implements it); the serve metrics layer
+// publishes these as gauges so queue saturation and span loss are
+// visible before traces silently thin out.
+type ExporterStats interface {
+	QueueDepth() int64
+	Exported() int64
+	Dropped() int64
+}
+
+// WriterExporter writes each span as one JSON object per line — the
+// JSONL file/stdout exporter. Lines are whole-span atomic under a
+// mutex, so interleaved goroutines never shear a record.
+type WriterExporter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewWriterExporter returns a JSONL exporter writing to w.
+func NewWriterExporter(w io.Writer) *WriterExporter {
+	return &WriterExporter{w: w}
+}
+
+// jsonlSpan is the JSONL line schema: hex IDs, RFC3339Nano times.
+type jsonlSpan struct {
+	TraceID  string         `json:"trace_id"`
+	SpanID   string         `json:"span_id"`
+	ParentID string         `json:"parent_id,omitempty"`
+	Name     string         `json:"name"`
+	Start    time.Time      `json:"start"`
+	End      time.Time      `json:"end"`
+	Duration string         `json:"duration"`
+	Attrs    map[string]any `json:"attrs,omitempty"`
+	Error    string         `json:"error,omitempty"`
+}
+
+// ExportSpans writes one line per span.
+func (e *WriterExporter) ExportSpans(spans []SpanData) error {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for _, s := range spans {
+		line := jsonlSpan{
+			TraceID:  s.TraceID.String(),
+			SpanID:   s.SpanID.String(),
+			Name:     s.Name,
+			Start:    s.Start,
+			End:      s.End,
+			Duration: s.End.Sub(s.Start).String(),
+			Error:    s.Status,
+		}
+		if s.Parent.Valid() {
+			line.ParentID = s.Parent.String()
+		}
+		if len(s.Attrs) > 0 {
+			line.Attrs = make(map[string]any, len(s.Attrs))
+			for _, a := range s.Attrs {
+				if a.IsInt {
+					line.Attrs[a.Key] = a.Int
+				} else {
+					line.Attrs[a.Key] = a.Str
+				}
+			}
+		}
+		if err := enc.Encode(line); err != nil {
+			return err
+		}
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	_, err := e.w.Write(buf.Bytes())
+	return err
+}
+
+// Shutdown flushes nothing (writes are synchronous) but closes the
+// underlying writer when it is closable (a file; not stdout).
+func (e *WriterExporter) Shutdown(context.Context) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if c, ok := e.w.(io.Closer); ok {
+		return c.Close()
+	}
+	return nil
+}
+
+// OTLPConfig configures an OTLPExporter. Zero values take the noted
+// defaults.
+type OTLPConfig struct {
+	// Endpoint is the collector's trace ingestion URL
+	// (e.g. http://localhost:4318/v1/traces). Required.
+	Endpoint string
+	// Service names this process in the resource attributes
+	// (service.name). Default "tcompd".
+	Service string
+	// Client issues the POSTs. Default: http.Client with 5s timeout.
+	Client *http.Client
+	// QueueSize bounds the async span queue; spans arriving at a full
+	// queue are dropped and counted. Default 2048.
+	QueueSize int
+	// BatchSize caps spans per POST. Default 512.
+	BatchSize int
+	// FlushInterval bounds how long a non-full batch waits. Default 1s.
+	FlushInterval time.Duration
+	// MaxRetries is the send attempts per batch beyond the first.
+	// Default 3.
+	MaxRetries int
+	// RetryBackoff is the initial retry delay, doubled per attempt.
+	// Default 250ms.
+	RetryBackoff time.Duration
+}
+
+// OTLPExporter ships spans to an OpenTelemetry collector over OTLP/HTTP
+// with JSON encoding, using only the standard library. Spans are
+// enqueued without blocking (a full queue drops the span and counts
+// it), batched by a background goroutine, and POSTed with
+// retry-with-backoff; Shutdown drains the queue before returning.
+type OTLPExporter struct {
+	cfg   OTLPConfig
+	queue chan SpanData
+	done  chan struct{} // closed when the background loop exits
+
+	exported atomic.Int64
+	dropped  atomic.Int64
+	depth    atomic.Int64
+
+	shutdownOnce sync.Once
+	shutdownErr  error
+}
+
+// NewOTLPExporter starts the background batching loop and returns the
+// exporter.
+func NewOTLPExporter(cfg OTLPConfig) *OTLPExporter {
+	if cfg.Service == "" {
+		cfg.Service = "tcompd"
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{Timeout: 5 * time.Second}
+	}
+	if cfg.QueueSize <= 0 {
+		cfg.QueueSize = 2048
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 512
+	}
+	if cfg.FlushInterval <= 0 {
+		cfg.FlushInterval = time.Second
+	}
+	if cfg.MaxRetries < 0 {
+		cfg.MaxRetries = 0
+	} else if cfg.MaxRetries == 0 {
+		cfg.MaxRetries = 3
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = 250 * time.Millisecond
+	}
+	e := &OTLPExporter{
+		cfg:   cfg,
+		queue: make(chan SpanData, cfg.QueueSize),
+		done:  make(chan struct{}),
+	}
+	go e.loop()
+	return e
+}
+
+// ExportSpans enqueues spans without blocking; spans that do not fit
+// the bounded queue are dropped and counted, never stalling the caller.
+func (e *OTLPExporter) ExportSpans(spans []SpanData) error {
+	for _, s := range spans {
+		select {
+		case e.queue <- s:
+			e.depth.Add(1)
+		default:
+			e.dropped.Add(1)
+		}
+	}
+	return nil
+}
+
+// QueueDepth returns the number of spans waiting to be sent.
+func (e *OTLPExporter) QueueDepth() int64 { return e.depth.Load() }
+
+// Exported returns the number of spans successfully delivered.
+func (e *OTLPExporter) Exported() int64 { return e.exported.Load() }
+
+// Dropped returns spans lost to a full queue or a batch that exhausted
+// its retries.
+func (e *OTLPExporter) Dropped() int64 { return e.dropped.Load() }
+
+// Shutdown stops accepting spans, drains the queue, and waits for the
+// background loop to finish sending, bounded by ctx.
+func (e *OTLPExporter) Shutdown(ctx context.Context) error {
+	e.shutdownOnce.Do(func() {
+		close(e.queue)
+		select {
+		case <-e.done:
+		case <-ctx.Done():
+			e.shutdownErr = ctx.Err()
+		}
+	})
+	return e.shutdownErr
+}
+
+// loop batches queued spans and sends them; it exits once the queue is
+// closed and drained.
+func (e *OTLPExporter) loop() {
+	defer close(e.done)
+	timer := time.NewTimer(e.cfg.FlushInterval)
+	defer timer.Stop()
+	batch := make([]SpanData, 0, e.cfg.BatchSize)
+	flush := func() {
+		if len(batch) == 0 {
+			return
+		}
+		e.send(batch)
+		batch = batch[:0]
+	}
+	for {
+		select {
+		case s, ok := <-e.queue:
+			if !ok {
+				// Drain: the queue channel is closed, so range the
+				// remainder and flush everything.
+				flush()
+				return
+			}
+			e.depth.Add(-1)
+			batch = append(batch, s)
+			if len(batch) >= e.cfg.BatchSize {
+				flush()
+			}
+		case <-timer.C:
+			flush()
+			timer.Reset(e.cfg.FlushInterval)
+		}
+	}
+}
+
+// send POSTs one batch with retry-with-backoff; a batch that exhausts
+// its retries is dropped and counted.
+func (e *OTLPExporter) send(batch []SpanData) {
+	body, err := json.Marshal(otlpPayload(e.cfg.Service, batch))
+	if err != nil {
+		e.dropped.Add(int64(len(batch)))
+		return
+	}
+	backoff := e.cfg.RetryBackoff
+	for attempt := 0; ; attempt++ {
+		if e.post(body) == nil {
+			e.exported.Add(int64(len(batch)))
+			return
+		}
+		if attempt >= e.cfg.MaxRetries {
+			e.dropped.Add(int64(len(batch)))
+			return
+		}
+		time.Sleep(backoff)
+		backoff *= 2
+	}
+}
+
+func (e *OTLPExporter) post(body []byte) error {
+	req, err := http.NewRequest(http.MethodPost, e.cfg.Endpoint, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := e.cfg.Client.Do(req)
+	if err != nil {
+		return err
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	_ = resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		return fmt.Errorf("obs: collector returned %s", resp.Status)
+	}
+	return nil
+}
+
+// OTLP/HTTP JSON wire shapes (opentelemetry-proto trace service, JSON
+// mapping). Per the protobuf JSON mapping, 64-bit integers — the
+// nanosecond timestamps and int attribute values — encode as strings.
+
+type otlpExportRequest struct {
+	ResourceSpans []otlpResourceSpans `json:"resourceSpans"`
+}
+
+type otlpResourceSpans struct {
+	Resource   otlpResource     `json:"resource"`
+	ScopeSpans []otlpScopeSpans `json:"scopeSpans"`
+}
+
+type otlpResource struct {
+	Attributes []otlpKeyValue `json:"attributes"`
+}
+
+type otlpScopeSpans struct {
+	Scope otlpScope  `json:"scope"`
+	Spans []otlpSpan `json:"spans"`
+}
+
+type otlpScope struct {
+	Name string `json:"name"`
+}
+
+type otlpSpan struct {
+	TraceID           string         `json:"traceId"`
+	SpanID            string         `json:"spanId"`
+	ParentSpanID      string         `json:"parentSpanId,omitempty"`
+	Name              string         `json:"name"`
+	Kind              int            `json:"kind"`
+	StartTimeUnixNano string         `json:"startTimeUnixNano"`
+	EndTimeUnixNano   string         `json:"endTimeUnixNano"`
+	Attributes        []otlpKeyValue `json:"attributes,omitempty"`
+	Status            otlpStatus     `json:"status"`
+}
+
+type otlpKeyValue struct {
+	Key   string       `json:"key"`
+	Value otlpAnyValue `json:"value"`
+}
+
+type otlpAnyValue struct {
+	StringValue *string `json:"stringValue,omitempty"`
+	IntValue    *string `json:"intValue,omitempty"`
+}
+
+type otlpStatus struct {
+	Code    int    `json:"code,omitempty"`
+	Message string `json:"message,omitempty"`
+}
+
+func otlpString(key, v string) otlpKeyValue {
+	return otlpKeyValue{Key: key, Value: otlpAnyValue{StringValue: &v}}
+}
+
+func otlpInt(key string, v int64) otlpKeyValue {
+	s := strconv.FormatInt(v, 10)
+	return otlpKeyValue{Key: key, Value: otlpAnyValue{IntValue: &s}}
+}
+
+// otlpPayload builds the ExportTraceServiceRequest JSON body for one
+// batch. Factored out of send so the golden-file test can pin the
+// payload shape without a live collector.
+func otlpPayload(service string, spans []SpanData) otlpExportRequest {
+	out := make([]otlpSpan, 0, len(spans))
+	for _, s := range spans {
+		sp := otlpSpan{
+			TraceID: s.TraceID.String(),
+			SpanID:  s.SpanID.String(),
+			Name:    s.Name,
+			// SPAN_KIND_INTERNAL: parent/child structure already
+			// captures the hops; kind refinement is not load-bearing.
+			Kind:              1,
+			StartTimeUnixNano: strconv.FormatInt(s.Start.UnixNano(), 10),
+			EndTimeUnixNano:   strconv.FormatInt(s.End.UnixNano(), 10),
+		}
+		if s.Parent.Valid() {
+			sp.ParentSpanID = s.Parent.String()
+		}
+		for _, a := range s.Attrs {
+			if a.IsInt {
+				sp.Attributes = append(sp.Attributes, otlpInt(a.Key, a.Int))
+			} else {
+				sp.Attributes = append(sp.Attributes, otlpString(a.Key, a.Str))
+			}
+		}
+		if s.Status != "" {
+			sp.Status = otlpStatus{Code: 2, Message: s.Status} // STATUS_CODE_ERROR
+		}
+		out = append(out, sp)
+	}
+	return otlpExportRequest{
+		ResourceSpans: []otlpResourceSpans{{
+			Resource: otlpResource{Attributes: []otlpKeyValue{
+				otlpString("service.name", service),
+			}},
+			ScopeSpans: []otlpScopeSpans{{
+				Scope: otlpScope{Name: "repro/internal/obs"},
+				Spans: out,
+			}},
+		}},
+	}
+}

@@ -74,6 +74,14 @@ func (r *Registry) GaugeFunc(name, help string, f func() float64) {
 	})
 }
 
+// CounterFunc registers a computed counter (e.g. a total read from a
+// runtime or exporter stats surface).
+func (r *Registry) CounterFunc(name, help string, f func() float64) {
+	r.register(name, help, "counter", func(w io.Writer) {
+		fmt.Fprintf(w, "%s %s\n", name, formatFloat(f()))
+	})
+}
+
 // CounterVec registers a labelled counter family under one label name.
 func (r *Registry) CounterVec(name, help, label string, c *LabelCounter) {
 	if !metricNameRe.MatchString(label) {

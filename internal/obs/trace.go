@@ -69,11 +69,21 @@ func (t *Trace) Stages() []Stage {
 }
 
 // StageAttrs renders the stages as slog attributes (stage name →
-// duration), for attaching to a request-completion log line.
+// duration), for attaching to a request-completion log line. Repeated
+// stage names — a chunked request records one compress per chunk — are
+// summed into a single attribute, keeping keys unique (duplicate slog
+// keys render as indistinguishable JSON fields) while preserving
+// first-appearance order.
 func (t *Trace) StageAttrs() []any {
 	stages := t.Stages()
 	attrs := make([]any, 0, len(stages))
+	index := make(map[string]int, len(stages))
 	for _, s := range stages {
+		if i, ok := index[s.Name]; ok {
+			attrs[i] = slog.Duration(s.Name, attrs[i].(slog.Attr).Value.Duration()+s.Duration)
+			continue
+		}
+		index[s.Name] = len(attrs)
 		attrs = append(attrs, slog.Duration(s.Name, s.Duration))
 	}
 	return attrs

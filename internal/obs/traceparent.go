@@ -1,0 +1,164 @@
+package obs
+
+import (
+	crand "crypto/rand"
+	"encoding/hex"
+	"fmt"
+)
+
+// W3C Trace Context (https://www.w3.org/TR/trace-context/) identifiers.
+// A trace ID names one end-to-end request as it crosses processes; a
+// span ID names one operation inside it. Both travel on the wire in the
+// traceparent header:
+//
+//	traceparent: 00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01
+//	             │  │                                │                │
+//	             │  trace-id (32 lowercase hex)      parent span-id   flags
+//	             version                             (16 hex)         (01 = sampled)
+//
+// The all-zero trace ID and span ID are invalid per spec — they are the
+// format's null values — so the zero Go values double as "absent".
+
+// TraceID identifies one distributed trace (16 bytes, all-zero = absent).
+type TraceID [16]byte
+
+// Valid reports whether the ID is non-zero (the spec's null check).
+func (id TraceID) Valid() bool { return id != TraceID{} }
+
+// String returns the 32-character lowercase hex form.
+func (id TraceID) String() string { return hex.EncodeToString(id[:]) }
+
+// SpanID identifies one span inside a trace (8 bytes, all-zero = absent).
+type SpanID [8]byte
+
+// Valid reports whether the ID is non-zero.
+func (id SpanID) Valid() bool { return id != SpanID{} }
+
+// String returns the 16-character lowercase hex form.
+func (id SpanID) String() string { return hex.EncodeToString(id[:]) }
+
+// TraceContext is the propagated half of a span: enough to join a trace
+// started elsewhere (trace ID + the sender's span ID as parent) and to
+// carry its sampling decision downstream.
+type TraceContext struct {
+	TraceID TraceID
+	SpanID  SpanID
+	Sampled bool
+}
+
+// Valid reports whether both IDs are present.
+func (tc TraceContext) Valid() bool { return tc.TraceID.Valid() && tc.SpanID.Valid() }
+
+// NewTraceID mints a random trace ID. Like NewRequestID, an entropy
+// failure is unrecoverable and panics.
+func NewTraceID() TraceID {
+	var id TraceID
+	if _, err := crand.Read(id[:]); err != nil {
+		panic(fmt.Sprintf("obs: reading random trace ID bytes: %v", err))
+	}
+	return id
+}
+
+// NewSpanID mints a random span ID.
+func NewSpanID() SpanID {
+	var id SpanID
+	if _, err := crand.Read(id[:]); err != nil {
+		panic(fmt.Sprintf("obs: reading random span ID bytes: %v", err))
+	}
+	return id
+}
+
+// FormatTraceparent renders the version-00 traceparent header value for
+// a trace context. Only the sampled bit of the flags byte is carried.
+func FormatTraceparent(tc TraceContext) string {
+	flags := "00"
+	if tc.Sampled {
+		flags = "01"
+	}
+	return "00-" + tc.TraceID.String() + "-" + tc.SpanID.String() + "-" + flags
+}
+
+// traceparentLen is the exact length of a version-00 traceparent value:
+// 2 + 1 + 32 + 1 + 16 + 1 + 2.
+const traceparentLen = 55
+
+// ParseTraceparent parses and validates a traceparent header value per
+// the W3C Trace Context spec. It is the sanitization boundary for the
+// inbound header — a hostile value must never yield a usable context:
+//
+//   - hex digits are lowercase only (the spec forbids uppercase);
+//   - version "ff" is invalid; a version-00 value must be exactly 55
+//     characters; a higher version may carry extra "-..." fields, which
+//     are ignored;
+//   - the all-zero trace ID and all-zero span ID are rejected;
+//   - only the sampled bit of the flags is interpreted.
+func ParseTraceparent(s string) (TraceContext, error) {
+	var tc TraceContext
+	if len(s) < traceparentLen {
+		return tc, fmt.Errorf("obs: traceparent too short (%d chars)", len(s))
+	}
+	if s[2] != '-' || s[35] != '-' || s[52] != '-' {
+		return tc, fmt.Errorf("obs: traceparent field delimiters misplaced")
+	}
+	version, ok := hexByte(s[0], s[1])
+	if !ok {
+		return tc, fmt.Errorf("obs: traceparent version %q is not lowercase hex", s[:2])
+	}
+	if version == 0xff {
+		return tc, fmt.Errorf("obs: traceparent version ff is invalid")
+	}
+	switch {
+	case version == 0 && len(s) != traceparentLen:
+		return tc, fmt.Errorf("obs: version-00 traceparent must be %d chars, got %d", traceparentLen, len(s))
+	case version > 0 && len(s) > traceparentLen && s[traceparentLen] != '-':
+		return tc, fmt.Errorf("obs: traceparent trailing fields must be dash-separated")
+	}
+	if !decodeLowerHex(tc.TraceID[:], s[3:35]) {
+		return tc, fmt.Errorf("obs: traceparent trace-id %q is not lowercase hex", s[3:35])
+	}
+	if !tc.TraceID.Valid() {
+		return TraceContext{}, fmt.Errorf("obs: traceparent trace-id is all zero")
+	}
+	if !decodeLowerHex(tc.SpanID[:], s[36:52]) {
+		return TraceContext{}, fmt.Errorf("obs: traceparent parent-id %q is not lowercase hex", s[36:52])
+	}
+	if !tc.SpanID.Valid() {
+		return TraceContext{}, fmt.Errorf("obs: traceparent parent-id is all zero")
+	}
+	flags, ok := hexByte(s[53], s[54])
+	if !ok {
+		return TraceContext{}, fmt.Errorf("obs: traceparent flags %q are not lowercase hex", s[53:55])
+	}
+	tc.Sampled = flags&0x01 != 0
+	return tc, nil
+}
+
+// hexByte decodes two lowercase hex digits into one byte.
+func hexByte(hi, lo byte) (byte, bool) {
+	h, ok1 := hexNibble(hi)
+	l, ok2 := hexNibble(lo)
+	return h<<4 | l, ok1 && ok2
+}
+
+func hexNibble(c byte) (byte, bool) {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0', true
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10, true
+	}
+	return 0, false
+}
+
+// decodeLowerHex fills dst from the lowercase-hex string s (len(s) must
+// be 2*len(dst)).
+func decodeLowerHex(dst []byte, s string) bool {
+	for i := range dst {
+		b, ok := hexByte(s[2*i], s[2*i+1])
+		if !ok {
+			return false
+		}
+		dst[i] = b
+	}
+	return true
+}

@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseTraceparentValid(t *testing.T) {
+	cases := []struct {
+		in      string
+		sampled bool
+	}{
+		{"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", true},
+		{"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-00", false},
+		// Only the sampled bit is interpreted; other flag bits pass.
+		{"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-03", true},
+		{"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-02", false},
+		// A future version may append dash-separated fields.
+		{"01-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-extra", true},
+		{"cc-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", true},
+	}
+	for _, c := range cases {
+		tc, err := ParseTraceparent(c.in)
+		if err != nil {
+			t.Errorf("ParseTraceparent(%q): unexpected error %v", c.in, err)
+			continue
+		}
+		if !tc.Valid() {
+			t.Errorf("ParseTraceparent(%q): invalid context %+v", c.in, tc)
+		}
+		if tc.Sampled != c.sampled {
+			t.Errorf("ParseTraceparent(%q): sampled = %v, want %v", c.in, tc.Sampled, c.sampled)
+		}
+		if got := tc.TraceID.String(); got != "4bf92f3577b34da6a3ce929d0e0e4736" {
+			t.Errorf("ParseTraceparent(%q): trace ID %s", c.in, got)
+		}
+		if got := tc.SpanID.String(); got != "00f067aa0ba902b7" {
+			t.Errorf("ParseTraceparent(%q): span ID %s", c.in, got)
+		}
+	}
+}
+
+func TestParseTraceparentHostile(t *testing.T) {
+	cases := []struct {
+		name, in string
+	}{
+		{"empty", ""},
+		{"short", "00-abc"},
+		{"version ff", "ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"},
+		{"uppercase version hex", "0A-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"},
+		{"non-hex version", "zz-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"},
+		{"uppercase trace id", "00-4BF92F3577B34DA6A3CE929D0E0E4736-00f067aa0ba902b7-01"},
+		{"non-hex trace id", "00-4bf92f3577b34da6a3ce929d0e0e473g-00f067aa0ba902b7-01"},
+		{"all-zero trace id", "00-00000000000000000000000000000000-00f067aa0ba902b7-01"},
+		{"all-zero span id", "00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01"},
+		{"uppercase span id", "00-4bf92f3577b34da6a3ce929d0e0e4736-00F067AA0BA902B7-01"},
+		{"non-hex flags", "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-0x"},
+		{"bad delimiters", "00_4bf92f3577b34da6a3ce929d0e0e4736_00f067aa0ba902b7_01"},
+		{"version 00 with trailing", "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-extra"},
+		{"version 01 trailing without dash", "01-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01x"},
+		{"embedded newline", "00-4bf92f3577b34da6a3ce929d0e0e47\n6-00f067aa0ba902b7-01"},
+	}
+	for _, c := range cases {
+		if tc, err := ParseTraceparent(c.in); err == nil {
+			t.Errorf("%s: ParseTraceparent(%q) accepted hostile input: %+v", c.name, c.in, tc)
+		}
+	}
+}
+
+func TestFormatParseRoundTrip(t *testing.T) {
+	for _, sampled := range []bool{true, false} {
+		want := TraceContext{TraceID: NewTraceID(), SpanID: NewSpanID(), Sampled: sampled}
+		got, err := ParseTraceparent(FormatTraceparent(want))
+		if err != nil {
+			t.Fatalf("round trip: %v", err)
+		}
+		if got != want {
+			t.Fatalf("round trip: got %+v, want %+v", got, want)
+		}
+	}
+}
+
+// FuzzParseTraceparent asserts the parser's safety property under
+// arbitrary input: it never panics, and any accepted value yields a
+// valid (non-zero ID) context that survives a format/parse round trip.
+func FuzzParseTraceparent(f *testing.F) {
+	f.Add("00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
+	f.Add("00-00000000000000000000000000000000-00f067aa0ba902b7-01")
+	f.Add("ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
+	f.Add("01-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-tail")
+	f.Add(strings.Repeat("0", 55))
+	f.Add("")
+	f.Fuzz(func(t *testing.T, s string) {
+		tc, err := ParseTraceparent(s)
+		if err != nil {
+			if tc.Valid() {
+				t.Fatalf("error %v but context %+v is valid", err, tc)
+			}
+			return
+		}
+		if !tc.TraceID.Valid() || !tc.SpanID.Valid() {
+			t.Fatalf("accepted %q with zero ID: %+v", s, tc)
+		}
+		again, err := ParseTraceparent(FormatTraceparent(tc))
+		if err != nil {
+			t.Fatalf("reformatted %q failed to parse: %v", s, err)
+		}
+		if again != tc {
+			t.Fatalf("round trip changed context: %+v vs %+v", again, tc)
+		}
+	})
+}

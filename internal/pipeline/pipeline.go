@@ -26,7 +26,6 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
-	"time"
 
 	"repro/internal/obs"
 )
@@ -86,22 +85,27 @@ func (l *Limiter) TryAcquire() bool {
 // while already holding a token from the same Limiter: unlike TryAcquire
 // it can wait, and a hold-and-wait cycle is a deadlock.
 //
-// Time spent waiting for a token is recorded as a queue_wait stage on
-// the context's request trace (a no-op outside a traced request). The
-// uncontended path records nothing: queue_wait only appears on requests
-// that actually queued.
+// Time spent waiting for a token is recorded as a queue_wait span (and
+// stage) on the context's request trace (a no-op outside a traced
+// request). The uncontended path records nothing: queue_wait only
+// appears on requests that actually queued. Unlike the historical
+// stage-only version, a wait that ends in cancellation now records too,
+// marked with the context error — a request killed while queueing is
+// exactly the one whose queue time matters.
 func (l *Limiter) Acquire(ctx context.Context) error {
 	select {
 	case l.tokens <- struct{}{}:
 		return nil
 	default:
 	}
-	start := time.Now()
+	_, sp := obs.StartSpan(ctx, "queue_wait")
 	select {
 	case l.tokens <- struct{}{}:
-		obs.AddStage(ctx, "queue_wait", time.Since(start))
+		sp.End()
 		return nil
 	case <-ctx.Done():
+		sp.SetError(ctx.Err())
+		sp.End()
 		return ctx.Err()
 	}
 }
@@ -344,6 +348,12 @@ func ForEach(ctx context.Context, lim *Limiter, n, workers int, fn func(i int)) 
 	if lim == nil {
 		lim = Default()
 	}
+	// Export-only region span (WithoutStage: the EA calls ForEach once
+	// per generation, and a stage per generation would bloat the
+	// request-completion log line).
+	_, sp := obs.StartSpan(ctx, "parallel region", obs.WithoutStage())
+	defer sp.End()
+	sp.SetAttrs(obs.Int("tasks", int64(n)), obs.Int("workers", int64(workers)))
 	var panicked atomic.Pointer[PanicError]
 	runIndexed(lim, n, workers, func(i int) {
 		if ctx.Err() != nil {
@@ -357,7 +367,9 @@ func ForEach(ctx context.Context, lim *Limiter, n, workers int, fn func(i int)) 
 		}
 	})
 	if pe := panicked.Load(); pe != nil {
+		sp.SetError(pe)
 		return pe
 	}
+	sp.SetError(ctx.Err())
 	return ctx.Err()
 }

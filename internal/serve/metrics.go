@@ -4,6 +4,9 @@ import (
 	"expvar"
 	"fmt"
 	"net/http"
+	"runtime"
+	"sync"
+	"time"
 
 	"repro/internal/obs"
 )
@@ -47,6 +50,10 @@ type Metrics struct {
 	// Jobs counts async job lifecycle events: submitted, done, failed,
 	// cancelled, and queue_full rejections.
 	Jobs *obs.LabelCounter
+	// RejectedIDs counts client-supplied X-Request-Id headers that
+	// SanitizeRequestID refused (control characters, quotes, over-long).
+	// A non-zero rate means a client is malformed or probing the logs.
+	RejectedIDs *obs.Counter
 	// Errors counts requests that ended in a non-2xx status.
 	Errors *obs.Counter
 	// Panics counts panics contained by the request middleware — each is
@@ -73,7 +80,7 @@ var latencyBuckets = []float64{
 // decades up to 100.
 var rateBuckets = []float64{0, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
 
-func newMetrics() *Metrics {
+func newMetrics(tracer *obs.Tracer) *Metrics {
 	m := &Metrics{
 		Requests:       &obs.LabelCounter{},
 		Latency:        obs.NewHistogramVec(latencyBuckets...),
@@ -86,6 +93,7 @@ func newMetrics() *Metrics {
 		CacheMisses:    &obs.Counter{},
 		CacheEvictions: &obs.Counter{},
 		Jobs:           &obs.LabelCounter{},
+		RejectedIDs:    &obs.Counter{},
 		Errors:         &obs.Counter{},
 		Panics:         &obs.Counter{},
 		Rates:          obs.NewHistogramVec(rateBuckets...),
@@ -110,6 +118,7 @@ func newMetrics() *Metrics {
 	m.root.Set("cache_evictions", m.CacheEvictions)
 	m.root.Set("cache_hit_ratio", expvar.Func(func() any { return hitRatio() }))
 	m.root.Set("jobs", m.Jobs)
+	m.root.Set("rejected_request_ids", m.RejectedIDs)
 	m.root.Set("errors", m.Errors)
 	m.root.Set("panics", m.Panics)
 	m.root.Set("compression_rate", m.Rates)
@@ -131,11 +140,69 @@ func newMetrics() *Metrics {
 	p.Counter("tcompd_cache_evictions_total", "Result-cache LRU evictions.", m.CacheEvictions)
 	p.GaugeFunc("tcompd_cache_hit_ratio", "Cache hits over lookups (0 until the first lookup).", hitRatio)
 	p.CounterVec("tcompd_jobs_total", "Async job lifecycle events.", "event", m.Jobs)
+	p.Counter("tcompd_rejected_request_ids_total", "Client-supplied X-Request-Id headers refused by sanitization.", m.RejectedIDs)
 	p.Counter("tcompd_errors_total", "Requests answered with a non-2xx status.", m.Errors)
 	p.Counter("tcompd_panics_total", "Panics contained by the request middleware.", m.Panics)
 	p.HistogramVec("tcompd_compression_rate_percent", "Compression rate per codec, paper-style percent.", "codec", m.Rates)
+
+	// Runtime telemetry: scheduler and heap gauges every perf claim
+	// leans on, sampled through a short-TTL memoizer because
+	// ReadMemStats stops the world.
+	rt := &runtimeSampler{}
+	p.GaugeFunc("tcompd_goroutines", "Live goroutines.", func() float64 {
+		return float64(runtime.NumGoroutine())
+	})
+	p.GaugeFunc("tcompd_heap_alloc_bytes", "Bytes of allocated heap objects.", func() float64 {
+		return float64(rt.stats().HeapAlloc)
+	})
+	p.GaugeFunc("tcompd_heap_objects", "Allocated heap objects.", func() float64 {
+		return float64(rt.stats().HeapObjects)
+	})
+	p.GaugeFunc("tcompd_next_gc_bytes", "Heap size that triggers the next GC cycle.", func() float64 {
+		return float64(rt.stats().NextGC)
+	})
+	p.CounterFunc("tcompd_gc_cycles_total", "Completed GC cycles.", func() float64 {
+		return float64(rt.stats().NumGC)
+	})
+	m.root.Set("goroutines", expvar.Func(func() any { return runtime.NumGoroutine() }))
+
+	// Exporter accounting, when the tracer's exporter keeps any (the
+	// OTLP exporter's bounded queue): saturation and span loss must be
+	// visible before traces silently thin out.
+	if st, ok := tracer.ExporterStats(); ok {
+		p.GaugeFunc("tcompd_trace_export_queue_depth", "Spans waiting in the trace exporter queue.", func() float64 {
+			return float64(st.QueueDepth())
+		})
+		p.CounterFunc("tcompd_trace_spans_exported_total", "Spans delivered to the trace collector.", func() float64 {
+			return float64(st.Exported())
+		})
+		p.CounterFunc("tcompd_trace_spans_dropped_total", "Spans lost to a full exporter queue or exhausted retries.", func() float64 {
+			return float64(st.Dropped())
+		})
+	}
 	m.prom = p
 	return m
+}
+
+// runtimeSampler memoizes runtime.ReadMemStats for a second: scrapes
+// and the JSON snapshot may hit several heap gauges per pass, and
+// ReadMemStats stops the world each call.
+type runtimeSampler struct {
+	mu   sync.Mutex
+	at   time.Time
+	mem  runtime.MemStats
+	init bool
+}
+
+func (r *runtimeSampler) stats() runtime.MemStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.init || time.Since(r.at) > time.Second {
+		runtime.ReadMemStats(&r.mem)
+		r.at = time.Now()
+		r.init = true
+	}
+	return r.mem
 }
 
 // ObserveRate records one compression run's paper-style rate (percent)

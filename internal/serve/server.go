@@ -42,6 +42,7 @@
 package serve
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -99,6 +100,10 @@ type Config struct {
 	// Logger receives the daemon's structured logs (request completions,
 	// contained panics, job transitions). Nil means slog.Default().
 	Logger *slog.Logger
+	// Tracer mints distributed-trace root spans for requests and jobs
+	// and owns the sampling policy + exporter. Nil disables span export
+	// but still honors inbound traceparent headers for propagation.
+	Tracer *obs.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -121,6 +126,7 @@ type Server struct {
 	cache    *Cache
 	metrics  *Metrics
 	log      *slog.Logger
+	tracer   *obs.Tracer
 	store    artifact.Store // job inputs and outputs
 	jobs     *jobs.Manager
 	mux      *http.ServeMux
@@ -140,8 +146,9 @@ func New(cfg Config) (*Server, error) {
 		cfg:     cfg,
 		lim:     pipeline.NewLimiter(cfg.Workers),
 		cache:   NewCache(cfg.CacheBytes),
-		metrics: newMetrics(),
+		metrics: newMetrics(cfg.Tracer),
 		log:     logger,
+		tracer:  cfg.Tracer,
 	}
 	s.cache.onEvict = func() { s.metrics.CacheEvictions.Add(1) }
 	store := cfg.JobStore
@@ -156,6 +163,7 @@ func New(cfg Config) (*Server, error) {
 		MaxQueued: cfg.MaxQueuedJobs,
 		Limiter:   s.lim,
 		Logger:    logger,
+		Tracer:    cfg.Tracer,
 		ErrorCode: jobTaxonomyCode,
 		Observe: func(j jobs.Job) {
 			switch j.State {
@@ -240,14 +248,38 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 func (s *Server) instrument(path string, h http.HandlerFunc) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
-		tr := obs.NewTrace(obs.SanitizeRequestID(r.Header.Get("X-Request-Id")))
-		r = r.WithContext(obs.WithTrace(r.Context(), tr))
+		rawID := r.Header.Get("X-Request-Id")
+		cleanID := obs.SanitizeRequestID(rawID)
+		if rawID != "" && cleanID == "" {
+			s.metrics.RejectedIDs.Add(1)
+		}
+		tr := obs.NewTrace(cleanID)
+		ctx := obs.WithTrace(r.Context(), tr)
+		// Distributed tracing: a valid inbound traceparent joins this
+		// request to the caller's trace (the parse is the sanitization
+		// boundary — a hostile header degrades to a fresh trace); the
+		// root span covers the whole handler and every stage span nests
+		// under it.
+		var parent *obs.TraceContext
+		if tp := r.Header.Get("traceparent"); tp != "" {
+			if tc, err := obs.ParseTraceparent(tp); err == nil {
+				parent = &tc
+			}
+		}
+		ctx, span := s.tracer.StartRoot(ctx, r.Method+" "+path, parent)
+		span.SetAttrs(obs.String("request_id", tr.RequestID()))
+		r = r.WithContext(ctx)
 		w.Header().Set("X-Request-Id", tr.RequestID())
 		s.metrics.InFlight.Add(1)
 		defer s.metrics.InFlight.Add(-1)
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 		account := func() {
 			elapsed := time.Since(start)
+			span.SetAttrs(obs.Int("http.status_code", int64(sw.code)))
+			if sw.code >= 400 {
+				span.SetError(fmt.Errorf("HTTP %d", sw.code))
+			}
+			span.End()
 			s.metrics.Requests.Add(path, 1)
 			s.metrics.Latency.Observe(path, elapsed.Seconds())
 			if sw.code >= 400 {
@@ -573,7 +605,7 @@ func (s *Server) handleCompress(w http.ResponseWriter, r *http.Request) {
 	body := &countingReader{r: http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes), n: s.metrics.BytesIn}
 	br := getBufReader(body)
 	defer putBufReader(br)
-	readStart := time.Now()
+	_, readSp := obs.StartSpan(r.Context(), "read")
 	if peek, err := br.Peek(4); err == nil && string(peek) == "TSET" {
 		// Binary test-set body: the format is already in-memory-sized
 		// (bounded by MaxBodyBytes), so take the buffered path. Cache
@@ -585,7 +617,7 @@ func (s *Server) handleCompress(w http.ResponseWriter, r *http.Request) {
 			writeError(w, bodyErrorCode(err, CodeBadRequest), "bad binary test set: %v", err)
 			return
 		}
-		obs.AddStage(r.Context(), "read", time.Since(readStart))
+		readSp.End()
 		canonical := int64(ts.NumPatterns()) * int64(ts.Width+1)
 		s.compressBuffered(w, r, req, ts, canonical <= s.cfg.CacheInputBytes)
 		return
@@ -621,7 +653,7 @@ func (s *Server) handleCompress(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if !overCap {
-		obs.AddStage(r.Context(), "read", time.Since(readStart))
+		readSp.End()
 		s.compressBuffered(w, r, req, ts, true)
 		return
 	}
@@ -658,16 +690,18 @@ func (s *Server) compressBuffered(w http.ResponseWriter, r *http.Request, req *c
 		}
 		s.metrics.CacheMisses.Add(1)
 	}
-	compressStart := time.Now()
-	res, err := s.compressToMemory(r, req, ts)
+	cctx, compressSp := obs.StartSpan(r.Context(), "compress")
+	res, err := s.compressToMemory(cctx, req, ts)
 	if err != nil {
+		compressSp.SetError(err)
+		compressSp.End()
 		if r.Context().Err() != nil {
 			return // client gone; nothing useful to answer
 		}
 		writeError(w, compressErrorCode(err), "compress: %v", err)
 		return
 	}
-	obs.AddStage(r.Context(), "compress", time.Since(compressStart))
+	compressSp.End()
 	s.metrics.ObserveRate(req.codecName, res.RatePercent())
 	if key != "" {
 		s.cache.Put(key, res)
@@ -676,20 +710,20 @@ func (s *Server) compressBuffered(w http.ResponseWriter, r *http.Request, req *c
 	if key != "" {
 		cacheState = "miss"
 	}
-	writeStart := time.Now()
+	_, writeSp := obs.StartSpan(r.Context(), "write")
 	s.writeResult(w, res, cacheState)
-	obs.AddStage(r.Context(), "write", time.Since(writeStart))
+	writeSp.End()
 }
 
 // compressToMemory runs the actual codec work for a buffered request.
 // The container is assembled in a pooled scratch buffer and copied out
 // into an exact-size private slice: a Result may enter the cache, whose
 // read-only Body must never alias per-request scratch.
-func (s *Server) compressToMemory(r *http.Request, req *compressRequest, ts *testset.TestSet) (*Result, error) {
+func (s *Server) compressToMemory(ctx context.Context, req *compressRequest, ts *testset.TestSet) (*Result, error) {
 	buf := getScratch()
 	defer putScratch(buf)
 	if req.format == "v2" {
-		art, err := req.codec.Compress(r.Context(), ts, req.opts...)
+		art, err := req.codec.Compress(ctx, ts, req.opts...)
 		if err != nil {
 			return nil, err
 		}
@@ -702,7 +736,7 @@ func (s *Server) compressToMemory(r *http.Request, req *compressRequest, ts *tes
 			OriginalBits: art.OriginalBits, CompressedBits: art.CompressedBits,
 		}, nil
 	}
-	sw, err := tcomp.NewStreamWriter(r.Context(), buf, req.codecName, ts.Width, req.opts...)
+	sw, err := tcomp.NewStreamWriter(ctx, buf, req.codecName, ts.Width, req.opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -745,14 +779,14 @@ func (s *Server) writeResult(w http.ResponseWriter, res *Result, cacheState stri
 // truncated container that any consumer's parser rejects, trailer-aware
 // or not — and names the reason in X-Tcomp-Error.
 func (s *Server) compressStream(w http.ResponseWriter, r *http.Request, req *compressRequest, prefix *testset.TestSet, sc *testset.Scanner, body io.Reader) {
-	streamStart := time.Now()
-	defer func() { obs.AddStage(r.Context(), "stream", time.Since(streamStart)) }()
+	sctx, streamSp := obs.StartSpan(r.Context(), "stream")
+	defer streamSp.End()
 	enableFullDuplex(w)
 	h := w.Header()
 	h.Set("Content-Type", "application/octet-stream")
 	h.Set("Trailer", "X-Tcomp-Patterns, X-Tcomp-Chunks, X-Tcomp-Original-Bits, X-Tcomp-Compressed-Bits, X-Tcomp-Error, X-Tcomp-Error-Code")
 	aw := &abortWriter{w: &countingWriter{w: w, n: s.metrics.BytesOut}}
-	sw, err := tcomp.NewStreamWriter(r.Context(), aw, req.codecName, prefix.Width, req.opts...)
+	sw, err := tcomp.NewStreamWriter(sctx, aw, req.codecName, prefix.Width, req.opts...)
 	if err != nil {
 		// NewStreamWriter validates before writing: the response is
 		// still clean, a real error answer is possible.
@@ -764,6 +798,7 @@ func (s *Server) compressStream(w http.ResponseWriter, r *http.Request, req *com
 		// trailer that make the truncated stream look complete.
 		aw.abort()
 		_ = sw.Close() // the original err is the story; Close joins the workers
+		streamSp.SetError(err)
 		trailerError(h, code, err)
 		drainBody(body)
 	}
@@ -829,13 +864,16 @@ func (s *Server) handleDecompress(w http.ResponseWriter, r *http.Request) {
 			writeError(w, bodyErrorCode(err, CodeCorruptContainer), "bad container: %v", err)
 			return
 		}
-		decodeStart := time.Now()
+		_, decodeSp := obs.StartSpan(r.Context(), "decompress")
+		decodeSp.SetAttrs(obs.String("codec", art.Codec))
 		ts, err := tcomp.Decompress(art)
 		if err != nil {
+			decodeSp.SetError(err)
+			decodeSp.End()
 			writeError(w, decodeErrorCode(err), "decompress: %v", err)
 			return
 		}
-		obs.AddStage(r.Context(), "decompress", time.Since(decodeStart))
+		decodeSp.End()
 		h := w.Header()
 		h.Set("Content-Type", "text/plain; charset=utf-8")
 		h.Set("X-Tcomp-Codec", art.Codec)
@@ -849,8 +887,9 @@ func (s *Server) handleDecompress(w http.ResponseWriter, r *http.Request) {
 		writeError(w, bodyErrorCode(err, CodeCorruptContainer), "bad chunked container: %v", err)
 		return
 	}
-	streamStart := time.Now()
-	defer func() { obs.AddStage(r.Context(), "stream", time.Since(streamStart)) }()
+	_, streamSp := obs.StartSpan(r.Context(), "stream")
+	streamSp.SetAttrs(obs.String("codec", sr.Codec()))
+	defer streamSp.End()
 	enableFullDuplex(w)
 	h := w.Header()
 	h.Set("Content-Type", "text/plain; charset=utf-8")
@@ -871,6 +910,7 @@ func (s *Server) handleDecompress(w http.ResponseWriter, r *http.Request) {
 			// The textual stream is already flowing; truncate it and
 			// name the failing chunk in the trailer.
 			_ = pw.Close() // truncating deliberately; the trailer names the cause
+			streamSp.SetError(err)
 			trailerError(h, decodeErrorCode(err),
 				fmt.Errorf("stream corrupt or truncated at chunk %d: %v", sr.ChunkIndex(), err))
 			drainBody(body)
