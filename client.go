@@ -134,6 +134,11 @@ func optionValues(opts []Option) url.Values {
 //	                daemon recovered the panic and kept serving)
 //	ErrUnavailable  the daemon is draining or dropped the request while
 //	                it was queued (HTTP 503) — retry elsewhere or later
+//
+// Flow submissions additionally map code "flow_invalid_circuit" (HTTP
+// 422) onto ErrInvalidCircuit — the shared sentinel of the local
+// TestFlow API — so a caller handles a bad netlist identically whether
+// the flow ran in-process or on a daemon.
 var (
 	ErrBadRequest     = errors.New("tcomp: daemon rejected the request as malformed")
 	ErrTooLarge       = errors.New("tcomp: request exceeds the daemon's size limit")
@@ -204,6 +209,10 @@ func (e *RemoteError) Is(target error) bool {
 	case ErrQueueFull:
 		return e.Code == "queue_full" ||
 			(e.Code == "" && e.Status == http.StatusTooManyRequests)
+	case ErrInvalidCircuit:
+		// Flow submissions only; no status fallback — a bare 422 from a
+		// pre-flow daemon keeps meaning ErrCorruptInput.
+		return e.Code == "flow_invalid_circuit"
 	}
 	return false
 }

@@ -61,6 +61,18 @@ type JobSpec struct {
 	Codecs []string         `json:"codecs,omitempty"`
 	Params map[string]int64 `json:"params,omitempty"`
 	Input  string           `json:"input"`
+	// Flow-only fields (kind "flow").
+	Benchmark string `json:"benchmark,omitempty"`
+	Tests     string `json:"tests,omitempty"`
+	Sample    int    `json:"sample,omitempty"`
+}
+
+// JobArtifact is one named extra artifact of a finished job — flow jobs
+// carry "container" and "verilog".
+type JobArtifact struct {
+	Name   string `json:"name"`
+	Digest string `json:"digest"`
+	Size   int64  `json:"size"`
 }
 
 // JobProgress reports how far a running job has come, in patterns and
@@ -99,7 +111,10 @@ type JobStatus struct {
 	Output     string      `json:"output,omitempty"`
 	OutputSize int64       `json:"output_size,omitempty"`
 	Stats      *JobStats   `json:"stats,omitempty"`
-	Error      string      `json:"error,omitempty"`
+	// Artifacts lists a flow job's named extra outputs, fetchable via
+	// FlowArtifact.
+	Artifacts []JobArtifact `json:"artifacts,omitempty"`
+	Error     string        `json:"error,omitempty"`
 	// ErrorCode carries the taxonomy code of a failed job (e.g.
 	// "corrupt_container", "internal_panic"), so an async caller can
 	// classify the failure exactly like a synchronous one.
@@ -164,8 +179,14 @@ func (c *Client) SubmitSweepJob(ctx context.Context, codecs []string, patterns i
 }
 
 func (c *Client) submitJob(ctx context.Context, q url.Values, body io.Reader, contentType string) (*JobStatus, error) {
+	return c.submitAsync(ctx, "/v1/jobs", q, body, contentType)
+}
+
+// submitAsync posts a body to an async submission endpoint (/v1/jobs or
+// /v1/flows) and decodes the 202 job record.
+func (c *Client) submitAsync(ctx context.Context, path string, q url.Values, body io.Reader, contentType string) (*JobStatus, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
-		c.BaseURL+"/v1/jobs?"+q.Encode(), body)
+		c.BaseURL+path+"?"+q.Encode(), body)
 	if err != nil {
 		return nil, err
 	}

@@ -11,9 +11,12 @@
 //	tcompd -config /etc/tcompd.json -log-format json
 //
 // Endpoints: POST /v1/compress, POST /v1/decompress, GET /v1/codecs,
-// POST/GET /v1/jobs (async job API), GET /healthz, GET /metrics (JSON
-// snapshot), GET /metrics/prometheus (text exposition). See the
-// README's Serving and Observability sections for curl examples.
+// POST/GET /v1/jobs (async job API), POST/GET /v1/flows (hardware-test
+// flow: circuit → ATPG → codec race → container + Verilog decoder),
+// GET /v1/benchmarks (the ISCAS-style registry), GET /healthz,
+// GET /metrics (JSON snapshot), GET /metrics/prometheus (text
+// exposition). See the README's Serving, Test-flow service, and
+// Observability sections for curl examples.
 //
 // Every setting resolves through one layered config: a command-line
 // flag beats its TCOMPD_* environment variable (-cache-bytes →

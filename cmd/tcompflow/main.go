@@ -1,0 +1,247 @@
+// Command tcompflow runs the hardware-test pipeline end to end:
+// circuit → ATPG → codec race → winner container + synthesizable
+// Verilog decoder. It is the CLI face of the tcomp.TestFlow API and of
+// a tcompd daemon's POST /v1/flows.
+//
+// Usage:
+//
+//	tcompflow -benchmark s298 -out-dir out
+//	tcompflow -in circuit.bench -tests path-delay -out-dir out
+//	tcompflow -benchmark s15850 -codecs ea,golomb -sample 64 -out-dir out
+//	tcompflow -remote http://localhost:8077 -benchmark s298 -out-dir out
+//	tcompflow -benchmarks
+//
+// Without -remote the whole flow runs in-process. With -remote it is
+// submitted as an async flow job, polled to completion, and the report
+// plus both artifacts are fetched back — the work survives a daemon
+// restart mid-run. Either way -out-dir receives three files:
+//
+//	report.json    the flow report (coverage, per-codec race rates,
+//	               stage timings, decoder area)
+//	tests.tcmp     the winner codec's v3 chunked container
+//	decoder.v      the synthesizable Verilog decoder (module
+//	               tcomp_flow_decoder)
+//
+// -benchmarks lists the ISCAS-style registry: every valid -benchmark
+// value with the paper's test-set dimensions and published rates.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+
+	tcomp "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tcompflow: ")
+	var (
+		benchmark = flag.String("benchmark", "", "registry circuit to generate (see -benchmarks)")
+		in        = flag.String("in", "", ".bench netlist file for a caller-supplied circuit (mutually exclusive with -benchmark)")
+		tests     = flag.String("tests", "", "test kind: stuck-at (default) or path-delay")
+		sample    = flag.Int("sample", 0, "codec-race sample prefix in patterns (0 = default 128)")
+		codecs    = flag.String("codecs", "", "comma-separated race entrants (empty = all registered codecs)")
+		seed      = flag.Int64("seed", 1, "flow seed; every stage derives its own deterministic seed from it")
+		workers   = flag.Int("workers", 0, "pipeline workers (0 = one per CPU; results are identical at any setting)")
+		outDir    = flag.String("out-dir", "", "directory for report.json, tests.tcmp and decoder.v (created if missing)")
+		list      = flag.Bool("benchmarks", false, "list the benchmark registry and exit")
+		remote    = flag.String("remote", "", "run the flow on a tcompd daemon at this base URL instead of in-process")
+	)
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	if *list {
+		listBenchmarks(ctx, *remote)
+		return
+	}
+	if (*benchmark == "") == (*in == "") {
+		log.Fatal("need exactly one of -benchmark or -in (or -benchmarks to list circuits)")
+	}
+
+	var codecList []string
+	if *codecs != "" {
+		codecList = strings.Split(*codecs, ",")
+	}
+
+	var res *tcomp.FlowResult
+	var artifacts map[string][]byte
+	var err error
+	if *remote != "" {
+		res, artifacts, err = runRemote(ctx, *remote, *benchmark, *in, *tests, *sample, *seed, *workers, codecList)
+	} else {
+		res, artifacts, err = runLocal(ctx, *benchmark, *in, *tests, *sample, *seed, *workers, codecList)
+	}
+	if err != nil {
+		log.Fatal(flowHint(err))
+	}
+
+	fmt.Printf("%s: %d inputs, %d gates; %s coverage %.2f%% over %d patterns\n",
+		res.CircuitName, res.CircuitInputs, res.CircuitGates,
+		res.Tests.Kind, res.Tests.CoveragePercent, res.Tests.Patterns)
+	fmt.Printf("race winner %s at %.2f%% (%d -> %d bits); decoder from %s (%d states, %.0f gate equivalents)\n",
+		res.Race.Winner, res.Container.RatePercent,
+		res.Container.OriginalBits, res.Container.CompressedBits,
+		res.Race.BlockWinner, res.Decoder.States, res.Decoder.GateEquivalents)
+	for _, e := range res.Race.Entries {
+		note := ""
+		if e.Err != "" {
+			note = " (failed: " + e.Err + ")"
+		}
+		fmt.Printf("  race %-8s %8.2f%%%s\n", e.Codec, e.RatePercent, note)
+	}
+
+	if *outDir != "" {
+		writeOutputs(*outDir, res, artifacts)
+	}
+}
+
+// runLocal executes the flow in-process through the public TestFlow API.
+func runLocal(ctx context.Context, benchmark, in, tests string, sample int, seed int64, workers int, codecs []string) (*tcomp.FlowResult, map[string][]byte, error) {
+	opts := []tcomp.FlowOption{tcomp.FlowSeed(seed), tcomp.FlowWorkers(workers)}
+	if tests != "" {
+		opts = append(opts, tcomp.FlowTests(tests))
+	}
+	if sample > 0 {
+		opts = append(opts, tcomp.FlowSamplePatterns(sample))
+	}
+	if len(codecs) > 0 {
+		opts = append(opts, tcomp.FlowCodecs(codecs...))
+	}
+	flow := tcomp.NewTestFlow(opts...)
+
+	var c *tcomp.Circuit
+	var err error
+	if benchmark != "" {
+		c, err = flow.GenerateCircuit(ctx, benchmark)
+	} else {
+		var f *os.File
+		if f, err = os.Open(in); err == nil {
+			c, err = flow.ParseCircuit(filepath.Base(in), f)
+			f.Close()
+		}
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := flow.Run(ctx, c)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, map[string][]byte{
+		"container": res.ContainerBytes,
+		"verilog":   res.VerilogBytes,
+	}, nil
+}
+
+// runRemote submits the flow as an async daemon job, waits for it, and
+// fetches the report and both artifacts.
+func runRemote(ctx context.Context, base, benchmark, in, tests string, sample int, seed int64, workers int, codecs []string) (*tcomp.FlowResult, map[string][]byte, error) {
+	req := tcomp.FlowRequest{
+		Benchmark: benchmark,
+		Tests:     tests,
+		Sample:    sample,
+		Codecs:    codecs,
+		Options:   []tcomp.Option{tcomp.WithSeed(seed), tcomp.WithWorkers(workers)},
+	}
+	if in != "" {
+		f, err := os.Open(in)
+		if err != nil {
+			return nil, nil, err
+		}
+		defer f.Close()
+		req.Netlist = f
+	}
+	c := tcomp.NewClient(base)
+	j, err := c.SubmitFlow(ctx, req)
+	if err != nil {
+		return nil, nil, err
+	}
+	fmt.Fprintf(os.Stderr, "submitted flow %s (%s)\n", j.ID, base)
+	if j, err = c.WaitJob(ctx, j.ID); err != nil {
+		return nil, nil, err
+	}
+	if j.State != tcomp.JobDone {
+		return nil, nil, fmt.Errorf("flow %s ended %s: %s (%s)", j.ID, j.State, j.Error, j.ErrorCode)
+	}
+	rep, err := c.FlowReport(ctx, j.ID)
+	if err != nil {
+		return nil, nil, err
+	}
+	artifacts := map[string][]byte{}
+	for _, name := range []string{"container", "verilog"} {
+		var buf strings.Builder
+		if _, err := c.FlowArtifact(ctx, j.ID, name, &buf); err != nil {
+			return nil, nil, fmt.Errorf("fetching %s artifact: %w", name, err)
+		}
+		artifacts[name] = []byte(buf.String())
+	}
+	return &rep.FlowResult, artifacts, nil
+}
+
+// writeOutputs materializes the three flow products under dir.
+func writeOutputs(dir string, res *tcomp.FlowResult, artifacts map[string][]byte) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	report, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	files := map[string][]byte{
+		"report.json": append(report, '\n'),
+		"tests.tcmp":  artifacts["container"],
+		"decoder.v":   artifacts["verilog"],
+	}
+	for name, blob := range files {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, blob, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (%d bytes)\n", path, len(blob))
+	}
+}
+
+// listBenchmarks prints the registry, from the daemon when -remote is
+// set (proving the endpoint) and locally otherwise.
+func listBenchmarks(ctx context.Context, remote string) {
+	var rows []tcomp.Benchmark
+	if remote != "" {
+		var err error
+		if rows, err = tcomp.NewClient(remote).Benchmarks(ctx); err != nil {
+			log.Fatal(flowHint(err))
+		}
+	} else {
+		rows = tcomp.Benchmarks()
+	}
+	w := os.Stdout
+	fmt.Fprintf(w, "%-10s %-10s %8s %8s\n", "NAME", "KIND", "PATTERNS", "WIDTH")
+	for _, b := range rows {
+		fmt.Fprintf(w, "%-10s %-10s %8d %8d\n", b.Name, b.Kind, b.Patterns, b.Width)
+	}
+}
+
+// flowHint appends the actionable next step implied by the error class.
+func flowHint(err error) string {
+	switch {
+	case errors.Is(err, tcomp.ErrInvalidCircuit):
+		return fmt.Sprintf("%v (fix the circuit: malformed .bench, over the flow size caps, or unknown benchmark — see -benchmarks)", err)
+	case errors.Is(err, tcomp.ErrQueueFull):
+		return fmt.Sprintf("%v (the daemon's job backlog is at capacity; retry later or raise tcompd -max-jobs)", err)
+	case errors.Is(err, tcomp.ErrUnavailable):
+		return fmt.Sprintf("%v (daemon draining or saturated; retry or target another instance)", err)
+	case errors.Is(err, tcomp.ErrRemoteInternal):
+		return fmt.Sprintf("%v (daemon bug, contained server-side; see the daemon log for the stack)", err)
+	}
+	return err.Error()
+}

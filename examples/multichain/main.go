@@ -1,28 +1,38 @@
 // Multi-chain: the paper's Section 5 future-work direction — EA
 // compression in a multiple scan chain environment — comparing a decoder
-// per chain against one shared decoder.
+// per chain against one shared decoder. The test set comes from the
+// public flow API (real ATPG patterns on a registry circuit) instead of
+// a synthetic distribution.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
+	tcomp "repro"
 	"repro/internal/core"
-	"repro/internal/iscasgen"
 	"repro/internal/multichain"
 )
 
 func main() {
-	m, err := iscasgen.Find("s953", iscasgen.StuckAt)
+	ctx := context.Background()
+
+	// ATPG patterns through the public flow API: generate the registry
+	// circuit and run test generation only — the multichain comparison
+	// replaces the flow's own compression stages here.
+	flow := tcomp.NewTestFlow(tcomp.FlowSeed(21))
+	c, err := flow.GenerateCircuit(ctx, "s953")
 	if err != nil {
 		log.Fatal(err)
 	}
-	ts, err := iscasgen.Generate(m, iscasgen.GenOptions{Seed: 21})
+	tests, err := flow.RunATPG(ctx, c)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("test set: %s, %d inputs x %d patterns = %d bits\n\n",
-		m.Name, ts.Width, ts.NumPatterns(), ts.TotalBits())
+	ts := tests.Set
+	fmt.Printf("test set: %s, %d inputs x %d patterns = %d bits (%.1f%% fault coverage)\n\n",
+		c.Name, ts.Width, ts.NumPatterns(), ts.TotalBits(), tests.CoveragePercent)
 
 	p := core.DefaultParams(9)
 	p.K, p.L = 8, 32

@@ -1,102 +1,80 @@
-// Path-delay pipeline: the Table 2 flow end to end — robust two-pattern
-// test generation (the role of TIP in the paper), compression with the
-// paper's two EA configurations (EA1: K=8,L=9; EA2: K=12,L=64), and a
+// Path-delay pipeline: the Table 2 flow end to end through the public
+// tcomp.TestFlow API — robust two-pattern test generation (the role of
+// TIP in the paper), the codec advisor race, winner compression — and a
 // final robustness re-check of the decompressed pairs.
 package main
 
 import (
+	"bytes"
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/circuit"
-	"repro/internal/core"
+	tcomp "repro"
 	"repro/internal/delay"
-	"repro/internal/ninec"
-	"repro/internal/testset"
-	"repro/internal/tritvec"
-
-	"repro/internal/bitstream"
-	"repro/internal/blockcode"
 )
 
 func main() {
-	// 1. Circuit and robust path-delay tests.
-	// Shallow fanin-2 circuits have many robustly testable paths (deep
-	// reconvergent circuits rarely satisfy the strict steady-side-input
-	// condition).
-	c, err := circuit.Random("demo-pd", circuit.RandomOptions{
-		Inputs: 12, Gates: 40, Outputs: 6, MaxFanin: 2, Seed: 99,
-	})
+	ctx := context.Background()
+
+	// 1. A path-delay flow on a Table 2 row. Path-delay mode generates a
+	// shallow fanin-2 circuit (deep reconvergent circuits rarely satisfy
+	// the strict robust steady-side-input condition) and flattens each
+	// two-pattern test as v1, v2 in the set.
+	p := tcomp.DefaultEAParams(5)
+	p.K, p.L = 8, 9 // the paper's EA1 configuration
+	p.Runs = 2
+	p.EA.MaxGenerations = 150
+	p.EA.MaxNoImprove = 40
+	flow := tcomp.NewTestFlow(
+		tcomp.FlowSeed(99),
+		tcomp.FlowTests(tcomp.FlowPathDelay),
+		tcomp.FlowMaxPaths(400),
+		tcomp.FlowSamplePatterns(48),
+		tcomp.FlowCodecOptions(tcomp.WithEAParams(p)),
+	)
+	c, err := flow.GenerateCircuit(ctx, "s386")
 	if err != nil {
 		log.Fatal(err)
 	}
-	opt := delay.DefaultOptions()
-	opt.MaxPaths = 400
-	res, err := delay.Generate(c, opt)
+	res, err := flow.Run(ctx, c)
 	if err != nil {
 		log.Fatal(err)
 	}
-	ts := res.Tests
+	ts := res.Tests.Set
 	fmt.Printf("circuit: %d inputs, %d gates; %d paths attempted, %d robustly tested (%.1f%%)\n",
-		len(c.Inputs), c.NumGates(), res.Paths, res.Robust, 100*res.Coverage())
-	fmt.Printf("test set: %d two-pattern tests, %d bits, %.1f%% specified\n",
-		ts.NumPatterns()/2, ts.TotalBits(), 100*ts.CareDensity())
+		res.CircuitInputs, res.CircuitGates, res.Tests.Targets,
+		res.Tests.Detected, res.Tests.CoveragePercent)
+	fmt.Printf("test set: %d two-pattern tests, %d bits\n",
+		ts.NumPatterns()/2, ts.TotalBits())
+	for _, e := range res.Race.Entries {
+		if e.Err == "" {
+			fmt.Printf("  race %-8s %6.1f%%\n", e.Codec, e.RatePercent)
+		}
+	}
+	fmt.Printf("winner %s: %.1f%% as a v3 container; decoder from %s\n",
+		res.Race.Winner, res.Container.RatePercent, res.Decoder.Codec)
 
-	// 2. Baselines and the paper's two EA configurations.
-	nine, err := ninec.Compress(ts, 8)
+	// 2. Decompress the winner container and re-verify every pair is
+	// still a robust test (the decompressor fills don't-cares with
+	// concrete values; robustness must survive any fill).
+	sr, err := tcomp.NewStreamReader(bytes.NewReader(res.ContainerBytes))
 	if err != nil {
 		log.Fatal(err)
 	}
-	hc, err := ninec.CompressHC(ts, 8)
-	if err != nil {
-		log.Fatal(err)
-	}
-	mkParams := func(k, l int, seed int64) core.Params {
-		p := core.DefaultParams(seed)
-		p.K, p.L = k, l
-		p.Runs = 3
-		p.EA.MaxGenerations = 150
-		p.EA.MaxNoImprove = 40
-		return p
-	}
-	ea1, err := core.Compress(ts, mkParams(8, 9, 5))
-	if err != nil {
-		log.Fatal(err)
-	}
-	ea2, err := core.Compress(ts, mkParams(12, 64, 6))
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("compression: 9C %.1f%% | 9C+HC %.1f%% | EA1 %.1f%% | EA2 %.1f%%\n",
-		nine.RatePercent(), hc.RatePercent(), ea1.AverageRate, ea2.AverageRate)
-
-	// 3. Decompress EA2's stream and re-verify every pair is still a
-	// robust test (the decompressor fills don't-cares with concrete
-	// values; robustness must survive any fill).
-	best := ea2
-	blocks := blockcode.Partition(ts, best.Params.K)
-	dec, err := blockcode.Decode(bitstream.FromWriter(best.Final.Stream),
-		best.Final.Set, best.Final.Code, len(blocks))
-	if err != nil {
-		log.Fatal(err)
-	}
-	if err := blockcode.Verify(blocks, dec); err != nil {
-		log.Fatal(err)
-	}
-	flat := tritvec.Concat(dec...).Slice(0, ts.TotalBits())
-	decTS, err := testset.FromFlat(flat, ts.Width)
+	decTS, err := sr.ReadAll()
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// Re-pair the decompressed vectors with their paths and re-check.
-	paths := delay.EnumeratePaths(c, opt.MaxPaths)
+	paths := delay.EnumeratePaths(c, 400)
 	robust := 0
 	idx := 0
 	for _, path := range paths {
 		for dir := 0; dir < 2 && idx+1 < ts.NumPatterns(); dir++ {
-			// Regeneration order matches Generate: only robust pairs
-			// were emitted, so try to match the original pair.
+			// Regeneration order matches Generate: only robust pairs were
+			// emitted, so try to match the original pair.
 			v1, v2 := ts.Patterns[idx], ts.Patterns[idx+1]
 			if delay.VerifyRobust(c, path, v1, v2) != nil {
 				continue // this path×dir produced no test

@@ -1,98 +1,76 @@
-// Stuck-at pipeline: the full flow the paper's Table 1 rests on, end to
-// end on a real (generated) circuit — ATPG with don't-care maximization,
-// compression with 9C / 9C+HC / EA, on-chip decode, and a final fault
-// simulation proving the decompressed patterns keep the original fault
-// coverage.
+// Stuck-at pipeline: the full flow the paper's Table 1 rests on, driven
+// through the public tcomp.TestFlow API — circuit generation, PODEM
+// ATPG with don't-care maximization, the codec advisor race, winner
+// compression into a v3 container, and Verilog decoder synthesis — then
+// a final fault simulation proving the decompressed patterns keep the
+// original fault coverage.
 package main
 
 import (
+	"bytes"
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/atpg"
-	"repro/internal/bitstream"
-	"repro/internal/blockcode"
-	"repro/internal/circuit"
-	"repro/internal/core"
-	"repro/internal/decoder"
+	tcomp "repro"
 	"repro/internal/faults"
-	"repro/internal/ninec"
-	"repro/internal/testset"
-	"repro/internal/tritvec"
 )
 
 func main() {
-	// 1. A circuit: 16 inputs, 150 gates (deterministic).
-	c, err := circuit.Random("demo16", circuit.RandomOptions{
-		Inputs: 16, Gates: 150, Outputs: 8, Seed: 2024,
-	})
+	ctx := context.Background()
+
+	// 1. The flow: one seed derives every stage's seed, so the whole run
+	// is reproducible; the EA is tuned down to demo speed.
+	p := tcomp.DefaultEAParams(7)
+	p.K, p.L = 8, 32
+	p.Runs = 2
+	p.EA.MaxGenerations = 150
+	p.EA.MaxNoImprove = 40
+	flow := tcomp.NewTestFlow(
+		tcomp.FlowSeed(2024),
+		tcomp.FlowSamplePatterns(48),
+		tcomp.FlowCodecOptions(tcomp.WithEAParams(p)),
+	)
+
+	// 2. A registry circuit (Table 1 row s420) and the full run: ATPG →
+	// race → container + decoder, all verified losslessly in-process.
+	c, err := flow.GenerateCircuit(ctx, "s420")
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := flow.Run(ctx, c)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("circuit: %d inputs, %d gates, %d outputs\n",
-		len(c.Inputs), c.NumGates(), len(c.Outputs))
+		res.CircuitInputs, res.CircuitGates, res.CircuitOutputs)
+	fmt.Printf("ATPG: %d/%d faults detected (%.1f%%), %d patterns\n",
+		res.Tests.Detected, res.Tests.Targets, res.Tests.CoveragePercent, res.Tests.Patterns)
+	for _, e := range res.Race.Entries {
+		if e.Err == "" {
+			fmt.Printf("  race %-8s %6.1f%%\n", e.Codec, e.RatePercent)
+		}
+	}
+	fmt.Printf("winner %s: %.1f%% as a v3 container (%d -> %d bits)\n",
+		res.Race.Winner, res.Container.RatePercent,
+		res.Container.OriginalBits, res.Container.CompressedBits)
+	fmt.Printf("decoder (%s): %d states, %d MV table bits, ~%.0f gate equivalents, %d bytes of Verilog\n",
+		res.Decoder.Codec, res.Decoder.States, res.Decoder.MVTableBits,
+		res.Decoder.GateEquivalents, len(res.VerilogBytes))
 
-	// 2. Uncompacted stuck-at test set with don't-cares (the role of
-	// Kajihara/Miyase in the paper).
-	res, err := atpg.Generate(c, atpg.DefaultOptions())
-	if err != nil {
-		log.Fatal(err)
-	}
-	ts := res.Tests
-	fmt.Printf("ATPG: %d/%d faults detected (%.1f%%), %d patterns, %.1f%% specified bits\n",
-		res.Detected, res.Faults, 100*res.Coverage(),
-		ts.NumPatterns(), 100*ts.CareDensity())
-
-	// 3. Baseline coverage of the raw test set.
-	fl := faults.Collapse(c)
-	baseCov := faults.Coverage(faults.NewSimulator(c, 7).Run(ts, fl))
-
-	// 4. Compress three ways.
-	nine, err := ninec.Compress(ts, 8)
-	if err != nil {
-		log.Fatal(err)
-	}
-	hc, err := ninec.CompressHC(ts, 8)
-	if err != nil {
-		log.Fatal(err)
-	}
-	p := core.DefaultParams(7)
-	p.K, p.L = 8, 32
-	p.Runs = 3
-	p.EA.MaxGenerations = 150
-	p.EA.MaxNoImprove = 40
-	eaRes, err := core.Compress(ts, p)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("compression: 9C %.1f%% | 9C+HC %.1f%% | EA avg %.1f%% best %.1f%%\n",
-		nine.RatePercent(), hc.RatePercent(), eaRes.AverageRate, eaRes.BestRate)
-
-	// 5. Decode through the hardware FSM model.
-	fsm, err := decoder.New(eaRes.Final.Set, eaRes.Final.Code)
-	if err != nil {
-		log.Fatal(err)
-	}
-	blocks := blockcode.Partition(ts, p.K)
-	decBlocks, st, err := fsm.Run(bitstream.FromWriter(eaRes.Final.Stream), len(blocks))
-	if err != nil {
-		log.Fatal(err)
-	}
-	if err := blockcode.Verify(blocks, decBlocks); err != nil {
-		log.Fatal(err)
-	}
-	area := fsm.Area()
-	fmt.Printf("decoder: %d states, %d MV table bits, ~%.0f gate equivalents, %d cycles\n",
-		area.States, area.MVTableBits, area.GateEquivalents, st.Cycles)
-
-	// 6. The decompressed (fully specified) patterns must preserve fault
+	// 3. The decompressed (fully specified) patterns must preserve fault
 	// coverage — the decompressor output is what actually hits the scan
 	// chain.
-	flat := tritvec.Concat(decBlocks...).Slice(0, ts.TotalBits())
-	decTS, err := testset.FromFlat(flat, ts.Width)
+	sr, err := tcomp.NewStreamReader(bytes.NewReader(res.ContainerBytes))
 	if err != nil {
 		log.Fatal(err)
 	}
+	decTS, err := sr.ReadAll()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fl := faults.Collapse(c)
+	baseCov := faults.Coverage(faults.NewSimulator(c, 7).Run(res.Tests.Set, fl))
 	decCov := faults.Coverage(faults.NewSimulator(c, 7).Run(decTS, fl))
 	fmt.Printf("fault coverage: raw %.2f%% -> decompressed %.2f%%\n", 100*baseCov, 100*decCov)
 	if decCov < baseCov-1e-9 {

@@ -7,6 +7,7 @@
 package atpg
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -59,6 +60,16 @@ func (r *Result) Coverage() float64 {
 
 // Generate runs ATPG over the circuit's fault list.
 func Generate(c *circuit.Circuit, opt Options) (*Result, error) {
+	return GenerateCtx(context.Background(), c, opt)
+}
+
+// GenerateCtx is Generate with cancellation: ctx is checked between
+// faults and inside the PODEM recursion, so a cancelled context stops
+// an ATPG run within one search step instead of after the full fault
+// list. On cancellation the context's error is returned; the partial
+// result is discarded (ATPG output must be all-or-nothing to keep the
+// deterministic test-set contract).
+func GenerateCtx(ctx context.Context, c *circuit.Circuit, opt Options) (*Result, error) {
 	if opt.MaxBacktracks <= 0 {
 		opt.MaxBacktracks = 2000
 	}
@@ -69,9 +80,12 @@ func Generate(c *circuit.Circuit, opt Options) (*Result, error) {
 		fl = faults.All(c)
 	}
 	res := &Result{Tests: testset.New(len(c.Inputs)), Faults: len(fl)}
-	gen := &podem{c: c, maxBT: opt.MaxBacktracks, rng: rand.New(rand.NewSource(opt.Seed))}
+	gen := &podem{c: c, ctx: ctx, maxBT: opt.MaxBacktracks, rng: rand.New(rand.NewSource(opt.Seed))}
 	dropped := make([]bool, len(fl))
 	for fi, f := range fl {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if dropped[fi] {
 			res.Detected++
 			continue
@@ -100,6 +114,12 @@ func Generate(c *circuit.Circuit, opt Options) (*Result, error) {
 			res.Aborted++
 		}
 	}
+	// A cancellation that fired inside the final fault's search surfaces
+	// as an abort; re-check so callers never see a silently truncated
+	// result.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return res, nil
 }
 
@@ -114,6 +134,7 @@ const (
 // podem carries the search state for one ATPG engine instance.
 type podem struct {
 	c     *circuit.Circuit
+	ctx   context.Context
 	maxBT int
 	rng   *rand.Rand
 
@@ -139,6 +160,11 @@ func (p *podem) run(f faults.Fault) (tritvec.Vector, status) {
 // search implements the PODEM recursion: pick an objective, backtrace to
 // an unassigned PI, try both values.
 func (p *podem) search() status {
+	// Cancellation surfaces as an abort; GenerateCtx turns it into the
+	// context's error before any truncated result can escape.
+	if p.ctx != nil && p.ctx.Err() != nil {
+		return statusAborted
+	}
 	good := p.c.Sim3(p.assign, nil)
 	bad := p.c.Sim3(p.assign, &circuit.Force{Signal: p.fault.Signal, Value: p.fault.SA})
 	if detectedAt(p.c, good, bad) {

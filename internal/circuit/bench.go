@@ -8,6 +8,26 @@ import (
 	"strings"
 )
 
+// BenchLimits bounds what ParseBenchLimited accepts. Zero fields mean
+// "no bound" — ParseBench passes the zero value. Daemon-facing parsers
+// must set all of them: .bench text is tiny relative to the arrays a
+// netlist expands into, so a hostile submission can otherwise declare
+// work far beyond its body size.
+type BenchLimits struct {
+	// MaxSignals caps the total signal count (inputs + gates).
+	MaxSignals int
+	// MaxInputs caps primary (and pseudo primary) inputs — the test-set
+	// width every downstream pattern allocates.
+	MaxInputs int
+	// MaxFanin caps the fanin list of a single gate.
+	MaxFanin int
+}
+
+// ErrBenchTooLarge is wrapped by ParseBenchLimited when a netlist
+// exceeds its limits; callers map it onto their own "invalid circuit"
+// taxonomy.
+var ErrBenchTooLarge = fmt.Errorf("circuit: netlist exceeds size limits")
+
 // ParseBench reads a netlist in the ISCAS .bench dialect:
 //
 //	# comment
@@ -20,10 +40,26 @@ import (
 // output becomes a pseudo primary input and the flip-flop data signal a
 // pseudo primary output.
 func ParseBench(name string, r io.Reader) (*Circuit, error) {
+	return ParseBenchLimited(name, r, BenchLimits{})
+}
+
+// ParseBenchLimited is ParseBench with declared-size caps, enforced
+// while scanning so an oversized netlist is rejected before its arrays
+// are built.
+func ParseBenchLimited(name string, r io.Reader, lim BenchLimits) (*Circuit, error) {
 	b := NewBuilder(name)
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<22)
 	lineNo := 0
+	check := func() error {
+		if lim.MaxSignals > 0 && b.NumSignals() > lim.MaxSignals {
+			return fmt.Errorf("line %d: %w: more than %d signals", lineNo, ErrBenchTooLarge, lim.MaxSignals)
+		}
+		if lim.MaxInputs > 0 && b.NumInputs() > lim.MaxInputs {
+			return fmt.Errorf("line %d: %w: more than %d inputs", lineNo, ErrBenchTooLarge, lim.MaxInputs)
+		}
+		return nil
+	}
 	var ppoSignals []string
 	for sc.Scan() {
 		lineNo++
@@ -39,6 +75,9 @@ func ParseBench(name string, r io.Reader) (*Circuit, error) {
 				return nil, fmt.Errorf("line %d: %v", lineNo, err)
 			}
 			b.AddInput(arg)
+			if err := check(); err != nil {
+				return nil, err
+			}
 		case strings.HasPrefix(up, "OUTPUT"):
 			arg, err := parenArg(line)
 			if err != nil {
@@ -65,12 +104,18 @@ func ParseBench(name string, r io.Reader) (*Circuit, error) {
 					fanin = append(fanin, f)
 				}
 			}
+			if lim.MaxFanin > 0 && len(fanin) > lim.MaxFanin {
+				return nil, fmt.Errorf("line %d: %w: gate with %d fanins (max %d)", lineNo, ErrBenchTooLarge, len(fanin), lim.MaxFanin)
+			}
 			if fn == "DFF" {
 				if len(fanin) != 1 {
 					return nil, fmt.Errorf("line %d: DFF needs 1 fanin", lineNo)
 				}
 				b.AddInput(lhs) // FF output -> pseudo primary input
 				ppoSignals = append(ppoSignals, fanin[0])
+				if err := check(); err != nil {
+					return nil, err
+				}
 				continue
 			}
 			t, ok := parseGateType(fn)
@@ -89,6 +134,9 @@ func ParseBench(name string, r io.Reader) (*Circuit, error) {
 			}
 			if _, err := b.AddGate(lhs, t, fanin...); err != nil {
 				return nil, fmt.Errorf("line %d: %v", lineNo, err)
+			}
+			if err := check(); err != nil {
+				return nil, err
 			}
 		}
 	}

@@ -73,6 +73,13 @@ func NewBuilder(name string) *Builder {
 	return &Builder{c: &Circuit{Name: name}, index: make(map[string]int)}
 }
 
+// NumSignals returns the number of distinct signals declared so far.
+func (b *Builder) NumSignals() int { return len(b.c.Names) }
+
+// NumInputs returns the number of (pseudo) primary inputs declared so
+// far.
+func (b *Builder) NumInputs() int { return len(b.c.Inputs) }
+
 // Signal returns the id for name, creating an untyped placeholder if new.
 func (b *Builder) Signal(name string) int {
 	if id, ok := b.index[name]; ok {

@@ -1,0 +1,110 @@
+package decoder
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/ninec"
+	"repro/internal/testset"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden Verilog file from the current emitter")
+
+// goldenFSM builds a fully deterministic FSM: a hand-written test set
+// (no RNG anywhere) through the 9C-HC covering. Any change to the
+// emitted RTL shows up as a golden diff, reviewed like source.
+func goldenFSM(t *testing.T) *FSM {
+	t.Helper()
+	ts, err := testset.ParseStrings(
+		"00001111",
+		"0000XXXX",
+		"11110000",
+		"XX00XX11",
+		"01010101",
+		"00000000",
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ninec.CompressHC(ts, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fsm, err := New(res.Set, res.Code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fsm
+}
+
+// TestWriteVerilogGolden pins the emitted module byte-for-byte against
+// testdata/golden_decoder.v. Run with -update to accept an intentional
+// emitter change.
+func TestWriteVerilogGolden(t *testing.T) {
+	fsm := goldenFSM(t)
+	var buf bytes.Buffer
+	if err := fsm.WriteVerilog(&buf, "tcomp_flow_decoder"); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "golden_decoder.v")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden file (run with -update to create it): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("emitted Verilog differs from %s (%d vs %d bytes); run with -update if the change is intentional",
+			path, buf.Len(), len(want))
+	}
+}
+
+// TestWriteVerilogGoldenStructure checks the golden module's shape
+// against the FSM that emitted it: exactly the five ports, one state
+// case line per Huffman trie state×bit edge reachable in the ROM, and
+// a module that opens and closes exactly once.
+func TestWriteVerilogGoldenStructure(t *testing.T) {
+	fsm := goldenFSM(t)
+	var buf bytes.Buffer
+	if err := fsm.WriteVerilog(&buf, "tcomp_flow_decoder"); err != nil {
+		t.Fatal(err)
+	}
+	v := buf.String()
+
+	ports := []string{"clk", "rst", "bit_in", "bit_in_valid", "block", "valid"}
+	for _, p := range ports {
+		re := regexp.MustCompile(`(?m)^\s*(input|output)\s+(wire|reg)\s+.*\b` + p + `\b`)
+		if !re.MatchString(v) {
+			t.Errorf("port %q not declared", p)
+		}
+	}
+	if strings.Count(v, "module ") != 1 || strings.Count(v, "endmodule") != 1 {
+		t.Fatal("module structure broken")
+	}
+
+	// The state register must be wide enough for the FSM's state count,
+	// and every trie edge must have its case line.
+	area := fsm.Area()
+	if area.States <= 0 {
+		t.Fatalf("degenerate area %+v", area)
+	}
+	if want := fmt.Sprintf("[%d:0] state", bitsFor(area.States)-1); !strings.Contains(v, want) {
+		t.Errorf("state register %q not found", want)
+	}
+	edges := strings.Count(v, "1'b0}:") + strings.Count(v, "1'b1}:")
+	if edges == 0 || edges > 2*area.States {
+		t.Errorf("%d trie case lines for %d states", edges, area.States)
+	}
+}

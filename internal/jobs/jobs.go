@@ -59,6 +59,12 @@ const (
 	// KindSweep streams one test-set blob through several codecs and
 	// produces a JSON rate report instead of a container.
 	KindSweep Kind = "sweep"
+	// KindFlow runs the full hardware-test pipeline: circuit (submitted
+	// .bench netlist or generated registry benchmark) → test generation →
+	// codec advisor race → winner container + Verilog decoder. The job
+	// output is the JSON flow report; the two binary artifacts are stored
+	// alongside it and listed on the job record.
+	KindFlow Kind = "flow"
 )
 
 // State is a job's position in the lifecycle.
@@ -84,9 +90,18 @@ type Spec struct {
 	Kind   Kind             `json:"kind"`
 	Codec  string           `json:"codec,omitempty"`
 	Format string           `json:"format,omitempty"` // compress: "v2" or "v3" (default)
-	Codecs []string         `json:"codecs,omitempty"` // sweep: the codecs to compare
+	Codecs []string         `json:"codecs,omitempty"` // sweep/flow: the codecs to compare or race
 	Params map[string]int64 `json:"params,omitempty"`
 	Input  artifact.Digest  `json:"input"`
+
+	// Flow-only fields. Benchmark selects a registry circuit to generate
+	// (the input blob is ignored then); empty means the input blob is a
+	// .bench netlist. Tests picks the generation kind ("stuck-at",
+	// default, or "path-delay"); Sample overrides the advisor's race
+	// prefix length.
+	Benchmark string `json:"benchmark,omitempty"`
+	Tests     string `json:"tests,omitempty"`
+	Sample    int    `json:"sample,omitempty"`
 }
 
 // Progress reports how far a running job has come.
@@ -104,6 +119,15 @@ type Stats struct {
 	CompressedBits int `json:"compressed_bits"`
 }
 
+// OutputArtifact is one named extra artifact of a finished job — flow
+// jobs store the winner container and the Verilog decoder next to their
+// JSON report output.
+type OutputArtifact struct {
+	Name   string          `json:"name"`
+	Digest artifact.Digest `json:"digest"`
+	Size   int64           `json:"size"`
+}
+
 // Job is one job record — the unit the journal persists and the API
 // serves.
 type Job struct {
@@ -117,7 +141,10 @@ type Job struct {
 	Output     artifact.Digest `json:"output,omitempty"`
 	OutputSize int64           `json:"output_size,omitempty"`
 	Stats      *Stats          `json:"stats,omitempty"`
-	Error      string          `json:"error,omitempty"`
+	// Artifacts lists a flow job's named extra outputs ("container",
+	// "verilog"), journalled like Output so they survive a restart.
+	Artifacts []OutputArtifact `json:"artifacts,omitempty"`
+	Error     string           `json:"error,omitempty"`
 	// ErrorCode carries the HTTP taxonomy code of a failed job (the code
 	// the synchronous endpoint would have answered with), so an async
 	// client can classify the failure exactly like a sync one.
@@ -178,6 +205,14 @@ type Config struct {
 	// after every state transition of a live job — the daemon's metrics
 	// hook. Journal recovery does not replay old transitions.
 	Observe func(j Job)
+	// FlowObserve, when set, receives each flow stage's wall-clock
+	// duration while a flow job runs — the tcompd_flow_stage_seconds
+	// hook. Called from worker goroutines; must be concurrency-safe.
+	FlowObserve func(stage string, seconds float64)
+	// FlowCoverage, when set, receives the coverage percent of every flow
+	// job's completed test-generation stage — the
+	// tcompd_flow_coverage_percent hook.
+	FlowCoverage func(percent float64)
 	// Logger receives job lifecycle and journal-failure logs. Nil means
 	// slog.Default().
 	Logger *slog.Logger
@@ -371,11 +406,39 @@ func (m *Manager) validate(spec *Spec) error {
 				return err
 			}
 		}
+	case KindFlow:
+		if spec.Codec != "" || spec.Format != "" {
+			return errors.New("jobs: flow takes codecs (the advisor set), not codec or format")
+		}
+		for _, c := range spec.Codecs {
+			if _, err := tcomp.Lookup(c); err != nil {
+				return err
+			}
+		}
+		switch spec.Tests {
+		case "", tcomp.FlowStuckAt, tcomp.FlowPathDelay:
+		default:
+			return fmt.Errorf("jobs: tests %q must be %q or %q", spec.Tests, tcomp.FlowStuckAt, tcomp.FlowPathDelay)
+		}
+		if spec.Sample < 0 || spec.Sample > 1<<16 {
+			return fmt.Errorf("jobs: sample %d out of range [0,%d]", spec.Sample, 1<<16)
+		}
+		if spec.Benchmark != "" {
+			if err := tcomp.FindBenchmark(spec.Benchmark, spec.Tests); err != nil {
+				return err
+			}
+		} else if spec.Input == "" {
+			return fmt.Errorf("jobs: flow needs a benchmark name or a .bench netlist body: %w", tcomp.ErrInvalidCircuit)
+		}
 	default:
 		return fmt.Errorf("jobs: unknown kind %q", spec.Kind)
 	}
 	if _, err := optionsFromParams(spec.Params); err != nil {
 		return err
+	}
+	if spec.Kind == KindFlow && spec.Benchmark != "" && spec.Input == "" {
+		// A generated-benchmark flow has no input blob to check.
+		return nil
 	}
 	if !spec.Input.Valid() {
 		return fmt.Errorf("jobs: input %q is not a valid digest", spec.Input)
@@ -533,6 +596,41 @@ func (m *Manager) OpenResult(id string) (rc io.ReadCloser, j Job, err error) {
 	return r, j, nil
 }
 
+// OpenArtifact returns a reader over one of a done job's named extra
+// artifacts (flow jobs: "container", "verilog") plus its record and the
+// job snapshot. Unknown names answer ErrNotFound; a GC'd blob answers
+// ErrGone.
+func (m *Manager) OpenArtifact(id, name string) (rc io.ReadCloser, a OutputArtifact, j Job, err error) {
+	m.mu.Lock()
+	st, ok := m.jobs[id]
+	if ok {
+		j = st.job
+	}
+	m.mu.Unlock()
+	if !ok {
+		return nil, OutputArtifact{}, Job{}, ErrNotFound
+	}
+	if j.State != StateDone {
+		return nil, OutputArtifact{}, j, fmt.Errorf("jobs: job %s is %s: %w", id, j.State, ErrNotDone)
+	}
+	for _, cand := range j.Artifacts {
+		if cand.Name == name {
+			a = cand
+		}
+	}
+	if a.Name == "" {
+		return nil, OutputArtifact{}, j, fmt.Errorf("jobs: job %s has no artifact %q: %w", id, name, ErrNotFound)
+	}
+	r, err := m.cfg.Store.Open(a.Digest)
+	if err != nil {
+		if errors.Is(err, artifact.ErrNotFound) {
+			return nil, a, j, fmt.Errorf("jobs: job %s artifact %s: %w", id, name, ErrGone)
+		}
+		return nil, a, j, err
+	}
+	return r, a, j, nil
+}
+
 // run executes one queued job end to end. It never returns an error to
 // the pool: failures become job-record state.
 func (m *Manager) run(ctx context.Context, id string) {
@@ -578,6 +676,7 @@ func (m *Manager) run(ctx context.Context, id string) {
 		st.job.Output = out.digest
 		st.job.OutputSize = out.size
 		st.job.Stats = out.stats
+		st.job.Artifacts = out.artifacts
 		st.job.Progress = Progress{Patterns: out.stats.Patterns, Chunks: out.stats.Chunks}
 	case st.cancelled:
 		st.job.State = StateCancelled
@@ -660,6 +759,9 @@ func (m *Manager) observe(j Job) {
 func defaultErrorCode(kind Kind, err error) string {
 	if errors.Is(err, pipeline.ErrPanic) {
 		return "internal_panic"
+	}
+	if errors.Is(err, tcomp.ErrInvalidCircuit) {
+		return "flow_invalid_circuit"
 	}
 	if kind == KindDecompress {
 		return "corrupt_container"

@@ -19,9 +19,10 @@ import (
 
 // outcome is what a successful runner hands back.
 type outcome struct {
-	digest artifact.Digest
-	size   int64
-	stats  *Stats
+	digest    artifact.Digest
+	size      int64
+	stats     *Stats
+	artifacts []OutputArtifact // flow jobs: the container and the decoder
 }
 
 // execute runs one job's work while holding a token of the shared worker
@@ -51,6 +52,8 @@ func (m *Manager) execute(ctx context.Context, id string, j Job) (out *outcome, 
 		return m.runDecompress(ctx, id, j.Spec)
 	case KindSweep:
 		return m.runSweep(ctx, id, j.Spec)
+	case KindFlow:
+		return m.runFlow(ctx, id, j.Spec)
 	}
 	return nil, fmt.Errorf("jobs: unknown kind %q", j.Spec.Kind) // unreachable: Submit validated
 }
@@ -413,4 +416,113 @@ func (m *Manager) runSweep(ctx context.Context, id string, spec Spec) (*outcome,
 			CompressedBits: best,
 		}, nil
 	})
+}
+
+// FlowReport is the JSON artifact a flow job produces: the flow result
+// (minus the binary blobs) plus the digests of the stored container and
+// decoder, so the report alone is a complete receipt.
+type FlowReport struct {
+	*tcomp.FlowResult
+	Artifacts []OutputArtifact `json:"artifacts"`
+}
+
+// runFlow runs the full hardware-test pipeline (circuit → test
+// generation → codec advisor race → winner container + Verilog decoder)
+// and stores three blobs: the JSON report as the job output, plus the
+// container and decoder as named artifacts on the job record.
+func (m *Manager) runFlow(ctx context.Context, id string, spec Spec) (*outcome, error) {
+	opts, err := optionsFromParams(spec.Params)
+	if err != nil {
+		return nil, err
+	}
+	seed := int64(1)
+	if v := spec.Params["seed"]; v != 0 {
+		seed = v
+	}
+	// Flow progress is stages completed (of 4), the way sweep counts
+	// codecs; the metrics hook rides the same observer.
+	stages := 0
+	flowOpts := []tcomp.FlowOption{
+		tcomp.FlowSeed(seed),
+		tcomp.FlowWorkers(int(spec.Params["workers"])),
+		tcomp.FlowCodecOptions(opts...),
+		tcomp.FlowStageObserver(func(stage string, seconds float64) {
+			if m.cfg.FlowObserve != nil {
+				m.cfg.FlowObserve(stage, seconds)
+			}
+			stages++
+			m.setProgress(id, Progress{Chunks: stages})
+		}),
+	}
+	if len(spec.Codecs) > 0 {
+		flowOpts = append(flowOpts, tcomp.FlowCodecs(spec.Codecs...))
+	}
+	if spec.Tests != "" {
+		flowOpts = append(flowOpts, tcomp.FlowTests(spec.Tests))
+	}
+	if spec.Sample > 0 {
+		flowOpts = append(flowOpts, tcomp.FlowSamplePatterns(spec.Sample))
+	}
+	flow := tcomp.NewTestFlow(flowOpts...)
+
+	var c *tcomp.Circuit
+	if spec.Benchmark != "" {
+		c, err = flow.GenerateCircuit(ctx, spec.Benchmark)
+	} else {
+		var rc io.ReadCloser
+		rc, err = m.cfg.Store.Open(spec.Input)
+		if err != nil {
+			return nil, fmt.Errorf("jobs: input artifact: %w", err)
+		}
+		c, err = flow.ParseCircuit("submitted", rc)
+		_ = rc.Close()
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	res, err := flow.Run(ctx, c)
+	if err != nil {
+		return nil, err
+	}
+	if m.cfg.FlowCoverage != nil {
+		m.cfg.FlowCoverage(res.Tests.CoveragePercent)
+	}
+
+	store := func(name string, blob []byte) (OutputArtifact, error) {
+		d, n, err := m.cfg.Store.Put(bytes.NewReader(blob))
+		if err != nil {
+			return OutputArtifact{}, fmt.Errorf("jobs: storing flow %s: %w", name, err)
+		}
+		return OutputArtifact{Name: name, Digest: d, Size: n}, nil
+	}
+	cArt, err := store("container", res.ContainerBytes)
+	if err != nil {
+		return nil, err
+	}
+	vArt, err := store("verilog", res.VerilogBytes)
+	if err != nil {
+		return nil, err
+	}
+	report := FlowReport{FlowResult: res, Artifacts: []OutputArtifact{cArt, vArt}}
+	b, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	b = append(b, '\n')
+	out, err := m.produceTo(func(w io.Writer) (*Stats, error) {
+		if _, err := w.Write(b); err != nil {
+			return nil, err
+		}
+		return &Stats{
+			Patterns: res.Tests.Patterns, Chunks: res.Container.Chunks,
+			OriginalBits:   res.Container.OriginalBits,
+			CompressedBits: res.Container.CompressedBits,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out.artifacts = report.Artifacts
+	return out, nil
 }

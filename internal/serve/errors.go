@@ -24,6 +24,10 @@
 //	                        bitstream)
 //	unprocessable      422  well-formed input the codec cannot process
 //	                        (e.g. a block covering that fails)
+//	flow_invalid_circuit 422  a flow submission whose circuit is unusable:
+//	                        malformed .bench netlist, a netlist over the
+//	                        flow size caps (signals/inputs/fanin), or an
+//	                        unknown benchmark name
 //	job_not_found      404  the job ID names no known job (never submitted,
 //	                        removed, or its result artifact already
 //	                        garbage-collected)
@@ -51,16 +55,17 @@ import (
 // Taxonomy codes. Keep in sync with the package comment above and the
 // README's serving section.
 const (
-	CodeBadRequest       = "bad_request"
-	CodeMethodNotAllowed = "method_not_allowed"
-	CodeTooLarge         = "request_too_large"
-	CodeCorruptContainer = "corrupt_container"
-	CodeUnprocessable    = "unprocessable"
-	CodeJobNotFound      = "job_not_found"
-	CodeJobNotDone       = "job_not_done"
-	CodeQueueFull        = "queue_full"
-	CodeInternalPanic    = "internal_panic"
-	CodeUnavailable      = "unavailable"
+	CodeBadRequest         = "bad_request"
+	CodeMethodNotAllowed   = "method_not_allowed"
+	CodeTooLarge           = "request_too_large"
+	CodeCorruptContainer   = "corrupt_container"
+	CodeUnprocessable      = "unprocessable"
+	CodeFlowInvalidCircuit = "flow_invalid_circuit"
+	CodeJobNotFound        = "job_not_found"
+	CodeJobNotDone         = "job_not_done"
+	CodeQueueFull          = "queue_full"
+	CodeInternalPanic      = "internal_panic"
+	CodeUnavailable        = "unavailable"
 )
 
 // statusOf maps a taxonomy code to its HTTP status.
@@ -72,7 +77,7 @@ func statusOf(code string) int {
 		return http.StatusMethodNotAllowed
 	case CodeTooLarge:
 		return http.StatusRequestEntityTooLarge
-	case CodeCorruptContainer, CodeUnprocessable:
+	case CodeCorruptContainer, CodeUnprocessable, CodeFlowInvalidCircuit:
 		return http.StatusUnprocessableEntity
 	case CodeJobNotFound:
 		return http.StatusNotFound

@@ -1,0 +1,231 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+
+	tcomp "repro"
+	"repro/internal/jobs"
+)
+
+// ---- /v1/flows and /v1/benchmarks ----
+//
+// A flow is an async job (kind "flow") wearing its own resource: the
+// collection endpoints filter on the kind, the per-flow endpoints are
+// the job endpoints plus artifact fetching. Keeping flows inside the
+// job manager buys everything jobs already solved — journal durability,
+// shutdown parking, cancellation, the shared worker budget — for free.
+
+// parseFlowQuery translates the flow submit query into a job spec. The
+// compression parameters mirror /v1/compress; benchmark/tests/sample
+// are flow-specific.
+func parseFlowQuery(q url.Values) (jobs.Spec, error) {
+	spec := jobs.Spec{Kind: jobs.KindFlow}
+	known := map[string]bool{"benchmark": true, "tests": true, "sample": true, "codecs": true}
+	for _, key := range tcomp.ParamKeys() {
+		known[key] = true
+	}
+	for key := range q {
+		if !known[key] {
+			return spec, fmt.Errorf("unknown query parameter %q", key)
+		}
+	}
+	spec.Benchmark = q.Get("benchmark")
+	spec.Tests = q.Get("tests")
+	if raw := q.Get("sample"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil {
+			return spec, fmt.Errorf("parameter sample=%q is not an integer", raw)
+		}
+		spec.Sample = v
+	}
+	if cs := q.Get("codecs"); cs != "" {
+		spec.Codecs = strings.Split(cs, ",")
+	}
+	for _, key := range tcomp.ParamKeys() {
+		raw := q.Get(key)
+		if raw == "" {
+			continue
+		}
+		v, err := strconv.ParseInt(raw, 10, 64)
+		if err != nil {
+			return spec, fmt.Errorf("parameter %s=%q is not an integer", key, raw)
+		}
+		if spec.Params == nil {
+			spec.Params = map[string]int64{}
+		}
+		spec.Params[key] = v
+	}
+	return spec, nil
+}
+
+// handleFlows serves the collection endpoint: POST submits, GET lists
+// the flow jobs.
+func (s *Server) handleFlows(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		s.handleFlowSubmit(w, r)
+	case http.MethodGet:
+		out := []jobs.Job{}
+		for _, j := range s.jobs.List() {
+			if j.Spec.Kind == jobs.KindFlow {
+				out = append(out, j)
+			}
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = json.NewEncoder(w).Encode(out) // client gone: nothing to do
+	default:
+		writeError(w, CodeMethodNotAllowed, "use POST to submit or GET to list")
+	}
+}
+
+// handleFlowSubmit stores the .bench body (when present) and queues the
+// flow job. A ?benchmark= submission may omit the body entirely — the
+// daemon generates the registry circuit itself.
+func (s *Server) handleFlowSubmit(w http.ResponseWriter, r *http.Request) {
+	spec, err := parseFlowQuery(r.URL.Query())
+	if err != nil {
+		writeError(w, CodeBadRequest, "%v", err)
+		return
+	}
+	body := &countingReader{r: http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes), n: s.metrics.BytesIn}
+	br := getBufReader(body)
+	defer putBufReader(br)
+	if _, perr := br.Peek(1); perr != io.EOF {
+		if perr != nil {
+			writeError(w, bodyErrorCode(perr, CodeBadRequest), "reading netlist: %v", perr)
+			return
+		}
+		// Reject a bad netlist at submit time, before anything is stored:
+		// the parse is cheap (bounds-capped), and a synchronous 422 beats
+		// discovering the same failure by polling the job. The flow worker
+		// re-parses from the stored blob when it runs.
+		var raw bytes.Buffer
+		if _, err := tcomp.NewTestFlow().ParseCircuit("submitted", io.TeeReader(br, &raw)); err != nil {
+			writeError(w, CodeFlowInvalidCircuit, "%v", err)
+			return
+		}
+		d, _, err := s.store.Put(bytes.NewReader(raw.Bytes()))
+		if err != nil {
+			writeError(w, bodyErrorCode(err, CodeBadRequest), "storing netlist: %v", err)
+			return
+		}
+		spec.Input = d
+	}
+	j, err := s.jobs.SubmitCtx(r.Context(), spec)
+	if err != nil {
+		switch {
+		case errors.Is(err, tcomp.ErrInvalidCircuit):
+			writeError(w, CodeFlowInvalidCircuit, "%v", err)
+		case errors.Is(err, jobs.ErrQueueFull):
+			s.metrics.Jobs.Add("queue_full", 1)
+			writeError(w, CodeQueueFull, "%v", err)
+		case errors.Is(err, jobs.ErrClosed):
+			writeError(w, CodeUnavailable, "%v", err)
+		default:
+			writeError(w, CodeBadRequest, "%v", err)
+		}
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "application/json; charset=utf-8")
+	h.Set("Location", "/v1/flows/"+j.ID)
+	w.WriteHeader(http.StatusAccepted)
+	_ = json.NewEncoder(w).Encode(j) // client gone: nothing to do
+}
+
+// handleFlowByID routes the per-flow endpoints: the record, the JSON
+// report (/result), the named binary artifacts (/artifacts/{name}), and
+// DELETE. A job ID of a different kind answers 404 — flows and generic
+// jobs are distinct resources even though they share the manager.
+func (s *Server) handleFlowByID(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/v1/flows/")
+	id, sub, _ := strings.Cut(rest, "/")
+	artName := ""
+	if prefix, name, ok := strings.Cut(sub, "/"); ok && prefix == "artifacts" && name != "" && !strings.Contains(name, "/") {
+		sub, artName = "artifacts", name
+	}
+	if id == "" || (sub != "" && sub != "result" && sub != "artifacts") {
+		writeError(w, CodeJobNotFound, "no such endpoint under /v1/flows/")
+		return
+	}
+	j, err := s.jobs.Get(id)
+	if err != nil || j.Spec.Kind != jobs.KindFlow {
+		writeError(w, CodeJobNotFound, "flow %s: not found", id)
+		return
+	}
+	switch sub {
+	case "result":
+		if r.Method != http.MethodGet {
+			writeError(w, CodeMethodNotAllowed, "use GET")
+			return
+		}
+		s.handleJobResult(w, id)
+	case "artifacts":
+		if r.Method != http.MethodGet {
+			writeError(w, CodeMethodNotAllowed, "use GET")
+			return
+		}
+		s.handleFlowArtifact(w, id, artName)
+	default:
+		switch r.Method {
+		case http.MethodGet:
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			_ = json.NewEncoder(w).Encode(j) // client gone: nothing to do
+		case http.MethodDelete:
+			s.handleJobDelete(w, id)
+		default:
+			writeError(w, CodeMethodNotAllowed, "use GET or DELETE")
+		}
+	}
+}
+
+// handleFlowArtifact streams one named artifact of a done flow.
+func (s *Server) handleFlowArtifact(w http.ResponseWriter, id, name string) {
+	rc, a, j, err := s.jobs.OpenArtifact(id, name)
+	if err != nil {
+		switch {
+		case errors.Is(err, jobs.ErrNotFound):
+			writeError(w, CodeJobNotFound, "flow %s: no artifact %q", id, name)
+		case errors.Is(err, jobs.ErrGone):
+			writeError(w, CodeJobNotFound, "flow %s: artifact %q expired (GC)", id, name)
+		case errors.Is(err, jobs.ErrNotDone):
+			if j.State == jobs.StateFailed {
+				writeError(w, CodeJobNotDone, "flow %s failed (%s): %s", id, j.ErrorCode, j.Error)
+			} else {
+				writeError(w, CodeJobNotDone, "flow %s is %s", id, j.State)
+			}
+		default:
+			writeError(w, CodeInternalPanic, "opening artifact: %v", err)
+		}
+		return
+	}
+	defer rc.Close()
+	h := w.Header()
+	ct := "application/octet-stream"
+	if name == "verilog" {
+		ct = "text/plain; charset=utf-8"
+	}
+	h.Set("Content-Type", ct)
+	h.Set("Content-Length", strconv.FormatInt(a.Size, 10))
+	h.Set("X-Tcomp-Job-Id", j.ID)
+	_, _ = io.Copy(&countingWriter{w: w, n: s.metrics.BytesOut}, rc) // client gone: nothing to do
+}
+
+// handleBenchmarks serves the ISCAS-style registry: the rows of the
+// paper's tables 1 and 2, each a valid ?benchmark= value for a flow.
+func (s *Server) handleBenchmarks(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, CodeMethodNotAllowed, "use GET")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	_ = json.NewEncoder(w).Encode(tcomp.Benchmarks()) // client gone: nothing to do
+}

@@ -1,0 +1,263 @@
+package serve
+
+// End-to-end coverage of the flow API: POST /v1/flows through the job
+// manager to the artifact fetches, the flow_invalid_circuit taxonomy,
+// and the benchmark registry endpoint — all through real
+// request/response cycles and the tcomp.Client flow methods.
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	tcomp "repro"
+)
+
+// flowClient builds a fast-polling client against a fresh in-memory
+// server.
+func flowClient(t *testing.T) (*Server, *tcomp.Client) {
+	t.Helper()
+	s, c := newTestServer(t, Config{Workers: 2, CacheBytes: 1 << 20})
+	c.PollInterval = 2 * time.Millisecond
+	return s, c
+}
+
+// fastFlowRequest keeps a daemon-side flow cheap: a small registry
+// circuit, a short race sample, and only quick codecs.
+func fastFlowRequest(benchmark string) tcomp.FlowRequest {
+	return tcomp.FlowRequest{
+		Benchmark: benchmark,
+		Sample:    16,
+		Codecs:    []string{"golomb", "fdr", "9c"},
+		Options:   []tcomp.Option{tcomp.WithSeed(7)},
+	}
+}
+
+// TestFlowLifecycle is the acceptance round trip of the flow service:
+// a benchmark flow submitted over HTTP runs circuit → ATPG → race →
+// container + Verilog in the background; the report, both artifacts,
+// the listings, and the flow metrics all check out.
+func TestFlowLifecycle(t *testing.T) {
+	s, client := flowClient(t)
+	ctx := context.Background()
+
+	j, err := client.SubmitFlow(ctx, fastFlowRequest("s298"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Spec.Kind != "flow" || j.Spec.Benchmark != "s298" {
+		t.Fatalf("accepted spec %+v, want kind flow benchmark s298", j.Spec)
+	}
+	if j, err = client.WaitJob(ctx, j.ID); err != nil {
+		t.Fatal(err)
+	}
+	if j.State != tcomp.JobDone {
+		t.Fatalf("flow ended %q (%s: %s), want done", j.State, j.ErrorCode, j.Error)
+	}
+	if len(j.Artifacts) != 2 {
+		t.Fatalf("done flow carries %d artifacts, want container + verilog", len(j.Artifacts))
+	}
+
+	rep, err := client.FlowReport(ctx, j.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CircuitName != "s298" || rep.Tests == nil || rep.Race == nil || rep.Decoder == nil {
+		t.Fatalf("report incomplete: %+v", rep)
+	}
+	if rep.Tests.Patterns == 0 || rep.Tests.CoveragePercent <= 0 {
+		t.Fatalf("report has no test generation result: %+v", rep.Tests)
+	}
+	if rep.Race.Winner == "" || !rep.Verified {
+		t.Fatalf("report race/verification incomplete: winner %q verified %v",
+			rep.Race.Winner, rep.Verified)
+	}
+	if len(rep.Artifacts) != 2 {
+		t.Fatalf("report lists %d artifacts, want 2", len(rep.Artifacts))
+	}
+	for _, stage := range []string{"atpg", "race", "compress", "emit-verilog"} {
+		if rep.StageSeconds[stage] <= 0 {
+			t.Fatalf("stage %q missing from timings %v", stage, rep.StageSeconds)
+		}
+	}
+
+	// The container artifact decompresses losslessly to the reported
+	// pattern count.
+	var cbuf bytes.Buffer
+	if _, err := client.FlowArtifact(ctx, j.ID, "container", &cbuf); err != nil {
+		t.Fatal(err)
+	}
+	sr, err := tcomp.NewStreamReader(bytes.NewReader(cbuf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := sr.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.NumPatterns() != rep.Tests.Patterns {
+		t.Fatalf("container expands to %d patterns, report says %d",
+			dec.NumPatterns(), rep.Tests.Patterns)
+	}
+
+	// The Verilog artifact is a non-empty module with the pinned name.
+	var vbuf bytes.Buffer
+	if _, err := client.FlowArtifact(ctx, j.ID, "verilog", &vbuf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(vbuf.String(), "module "+tcomp.FlowDecoderModule) {
+		t.Fatalf("verilog artifact lacks module %s:\n%.200s",
+			tcomp.FlowDecoderModule, vbuf.String())
+	}
+
+	// Listings: the flow collection has it; so does the generic job list
+	// (a flow IS a job).
+	flows, err := client.Flows(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flows) != 1 || flows[0].ID != j.ID {
+		t.Fatalf("flow listing %v does not contain exactly flow %s", flows, j.ID)
+	}
+
+	// Flow metrics: every stage observed, coverage gauge set.
+	if got := s.Metrics().FlowCoverage(); got != rep.Tests.CoveragePercent {
+		t.Fatalf("coverage gauge %v, want %v", got, rep.Tests.CoveragePercent)
+	}
+	resp, err := http.Get(client.BaseURL + "/metrics/prometheus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		`tcompd_flow_stage_seconds_count{stage="atpg"}`,
+		`tcompd_flow_stage_seconds_count{stage="emit-verilog"}`,
+		"tcompd_flow_coverage_percent",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Fatalf("prometheus exposition lacks %q", want)
+		}
+	}
+}
+
+// TestFlowNetlistSubmission submits a caller-supplied .bench body
+// instead of a registry name and checks the flow runs on it.
+func TestFlowNetlistSubmission(t *testing.T) {
+	_, client := flowClient(t)
+	ctx := context.Background()
+
+	// Serialize a registry circuit to .bench text: a realistic netlist
+	// without hand-maintaining one in the test.
+	c, err := tcomp.NewTestFlow(tcomp.FlowSeed(3)).GenerateCircuit(ctx, "s344")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bench bytes.Buffer
+	if err := c.WriteBench(&bench); err != nil {
+		t.Fatal(err)
+	}
+
+	req := fastFlowRequest("")
+	req.Netlist = bytes.NewReader(bench.Bytes())
+	j, err := client.SubmitFlow(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Spec.Input == "" {
+		t.Fatal("netlist submission stored no input blob")
+	}
+	if j, err = client.WaitJob(ctx, j.ID); err != nil {
+		t.Fatal(err)
+	}
+	if j.State != tcomp.JobDone {
+		t.Fatalf("flow ended %q (%s: %s), want done", j.State, j.ErrorCode, j.Error)
+	}
+	rep, err := client.FlowReport(ctx, j.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CircuitInputs != len(c.Inputs) {
+		t.Fatalf("flow ran on %d inputs, submitted netlist has %d",
+			rep.CircuitInputs, len(c.Inputs))
+	}
+}
+
+// TestFlowInvalidCircuit: the 422 flow_invalid_circuit taxonomy code,
+// and its client-side mapping onto tcomp.ErrInvalidCircuit, for all
+// three rejection shapes — unknown benchmark, malformed netlist, and a
+// netlist over the flow caps.
+func TestFlowInvalidCircuit(t *testing.T) {
+	_, client := flowClient(t)
+	ctx := context.Background()
+
+	cases := []struct {
+		name string
+		req  tcomp.FlowRequest
+	}{
+		{"unknown benchmark", tcomp.FlowRequest{Benchmark: "nope9999"}},
+		{"malformed netlist", tcomp.FlowRequest{Netlist: strings.NewReader("not a netlist at all\n")}},
+		{"netlist with no inputs", tcomp.FlowRequest{Netlist: strings.NewReader("OUTPUT(z)\nz = AND(z, z)\n")}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := client.SubmitFlow(ctx, tc.req)
+			if !errors.Is(err, tcomp.ErrInvalidCircuit) {
+				t.Fatalf("got %v, want ErrInvalidCircuit", err)
+			}
+			var re *tcomp.RemoteError
+			if !errors.As(err, &re) || re.Code != "flow_invalid_circuit" || re.Status != 422 {
+				t.Fatalf("remote error %+v, want 422 flow_invalid_circuit", re)
+			}
+		})
+	}
+
+	// A non-flow job ID under /v1/flows/ is a 404: distinct resources.
+	j, err := client.SubmitCompressJob(ctx, "golomb",
+		strings.NewReader(textOfSet(t, 8, 4)), tcomp.WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.FlowReport(ctx, j.ID); !errors.Is(err, tcomp.ErrJobNotFound) {
+		t.Fatalf("flow report of a compress job: %v, want ErrJobNotFound", err)
+	}
+}
+
+// TestBenchmarksEndpoint: GET /v1/benchmarks serves the full registry.
+func TestBenchmarksEndpoint(t *testing.T) {
+	_, client := flowClient(t)
+	rows, err := client.Benchmarks(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(tcomp.Benchmarks()) {
+		t.Fatalf("daemon serves %d benchmarks, registry has %d",
+			len(rows), len(tcomp.Benchmarks()))
+	}
+	seen := map[string]bool{}
+	for _, b := range rows {
+		if b.Name == "" || b.Kind == "" {
+			t.Fatalf("registry row missing name/kind: %+v", b)
+		}
+		seen[b.Name+"/"+b.Kind] = true
+	}
+	if !seen["s298/stuck-at"] {
+		t.Fatal("registry lacks s298 stuck-at")
+	}
+}
+
+// textOfSet builds a small textual test set inline.
+func textOfSet(t *testing.T, width, patterns int) string {
+	t.Helper()
+	ts := randomSet(width, patterns, 5)
+	var buf bytes.Buffer
+	if err := ts.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}

@@ -14,6 +14,7 @@ import (
 	"testing"
 
 	tcomp "repro"
+	"repro/internal/scenario"
 	"repro/internal/testset"
 )
 
@@ -30,6 +31,21 @@ func FuzzServeCompressHandler(f *testing.F) {
 	f.Add("codec=golomb", []byte("TSET\x01\x00\x00\x00\x04\x00\x00\x00\x01\x44"))
 	f.Add("codec=selhuff&d=0&k=70", []byte("not a test set"))
 	f.Add("%zz=&codec=golomb", []byte("4 1\n0101\n"))
+
+	// Realistic seeds from the scenario corpus: ATPG-shaped stuck-at,
+	// path-delay, and multichain pattern sets — the don't-care density
+	// and block structure the daemon actually serves, which the
+	// hand-written seeds above lack. Deterministic in the seed, so the
+	// corpus is stable across runs.
+	if corpus, err := scenario.Corpus(11); err == nil {
+		queries := []string{"codec=golomb&seed=3", "codec=fdr", "codec=9c&k=4", "codec=rl&b=3", "codec=selhuff&d=4"}
+		for i, sc := range corpus {
+			var buf bytes.Buffer
+			if sc.Set.Write(&buf) == nil {
+				f.Add(queries[i%len(queries)], append([]byte(nil), buf.Bytes()...))
+			}
+		}
+	}
 
 	s := mustServer(f, Config{Workers: 1, CacheBytes: 1 << 16, CacheInputBytes: 1 << 12, MaxBodyBytes: 1 << 14})
 	h := s.Handler()

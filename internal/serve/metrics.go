@@ -3,9 +3,11 @@ package serve
 import (
 	"expvar"
 	"fmt"
+	"math"
 	"net/http"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/obs"
@@ -65,6 +67,14 @@ type Metrics struct {
 	// rate percent; the first bucket collects runs where the coded
 	// stream grew past the original).
 	Rates *obs.HistogramVec
+
+	// FlowStages holds the per-stage wall-clock histograms of flow jobs
+	// (atpg, race, compress, emit-verilog).
+	FlowStages *obs.HistogramVec
+	// flowCoverage is the coverage percent of the most recent flow
+	// test-generation stage, stored as float64 bits for the
+	// tcompd_flow_coverage_percent gauge.
+	flowCoverage atomic.Uint64
 }
 
 // latencyBuckets are the request-duration histogram bounds in seconds:
@@ -97,6 +107,7 @@ func newMetrics(tracer *obs.Tracer) *Metrics {
 		Errors:         &obs.Counter{},
 		Panics:         &obs.Counter{},
 		Rates:          obs.NewHistogramVec(rateBuckets...),
+		FlowStages:     obs.NewHistogramVec(latencyBuckets...),
 	}
 	hitRatio := func() float64 {
 		hits, misses := m.CacheHits.Value(), m.CacheMisses.Value()
@@ -123,6 +134,8 @@ func newMetrics(tracer *obs.Tracer) *Metrics {
 	m.root.Set("panics", m.Panics)
 	m.root.Set("compression_rate", m.Rates)
 	m.root.Set("request_latency", m.Latency)
+	m.root.Set("flow_stage_seconds", m.FlowStages)
+	m.root.Set("flow_coverage_percent", expvar.Func(func() any { return m.FlowCoverage() }))
 
 	// The Prometheus view over the same primitives. Names follow the
 	// exposition conventions: _total counters, base-unit seconds.
@@ -144,6 +157,8 @@ func newMetrics(tracer *obs.Tracer) *Metrics {
 	p.Counter("tcompd_errors_total", "Requests answered with a non-2xx status.", m.Errors)
 	p.Counter("tcompd_panics_total", "Panics contained by the request middleware.", m.Panics)
 	p.HistogramVec("tcompd_compression_rate_percent", "Compression rate per codec, paper-style percent.", "codec", m.Rates)
+	p.HistogramVec("tcompd_flow_stage_seconds", "Flow job stage wall-clock per stage (atpg, race, compress, emit-verilog).", "stage", m.FlowStages)
+	p.GaugeFunc("tcompd_flow_coverage_percent", "Coverage percent of the most recent flow test-generation stage.", m.FlowCoverage)
 
 	// Runtime telemetry: scheduler and heap gauges every perf claim
 	// leans on, sampled through a short-TTL memoizer because
@@ -209,6 +224,22 @@ func (r *runtimeSampler) stats() runtime.MemStats {
 // under the codec's histogram, creating it on first use.
 func (m *Metrics) ObserveRate(codec string, rate float64) {
 	m.Rates.Observe(codec, rate)
+}
+
+// ObserveFlowStage records one flow stage's wall-clock seconds.
+func (m *Metrics) ObserveFlowStage(stage string, seconds float64) {
+	m.FlowStages.Observe(stage, seconds)
+}
+
+// SetFlowCoverage publishes the coverage percent of a flow's completed
+// test-generation stage.
+func (m *Metrics) SetFlowCoverage(percent float64) {
+	m.flowCoverage.Store(math.Float64bits(percent))
+}
+
+// FlowCoverage returns the most recently published flow coverage.
+func (m *Metrics) FlowCoverage() float64 {
+	return math.Float64frombits(m.flowCoverage.Load())
 }
 
 // noteWorker tracks the shared-budget occupancy and its high-water

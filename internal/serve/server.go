@@ -27,6 +27,21 @@
 //	GET  /v1/jobs/{id}   one job record (state, progress, stats).
 //	GET  /v1/jobs/{id}/result  the finished job's artifact bytes.
 //	DELETE /v1/jobs/{id} cancel an active job / remove a terminal one.
+//	POST /v1/flows       async hardware-test flow: the body is a .bench
+//	                     netlist (or empty with ?benchmark= naming a
+//	                     registry circuit to generate); the flow runs
+//	                     ATPG, races every codec on a sampled prefix,
+//	                     compresses the full set with the winner, and
+//	                     synthesizes the Verilog decoder. Answers 202
+//	                     with the job record.
+//	GET  /v1/flows       flow job listing.
+//	GET  /v1/flows/{id}  one flow record.
+//	GET  /v1/flows/{id}/result          the JSON flow report.
+//	GET  /v1/flows/{id}/artifacts/{name}  a named artifact: "container"
+//	                     (the winner's v3 container) or "verilog" (the
+//	                     synthesizable decoder module).
+//	DELETE /v1/flows/{id} cancel / remove, like /v1/jobs/{id}.
+//	GET  /v1/benchmarks  the ISCAS-style registry (paper tables 1 and 2).
 //	GET  /healthz        liveness; 503 once draining.
 //	GET  /metrics        expvar-style JSON counter snapshot.
 //
@@ -46,6 +61,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"log/slog"
@@ -177,6 +193,8 @@ func New(cfg Config) (*Server, error) {
 				s.metrics.Jobs.Add("cancelled", 1)
 			}
 		},
+		FlowObserve:  s.metrics.ObserveFlowStage,
+		FlowCoverage: s.metrics.SetFlowCoverage,
 	})
 	if err != nil {
 		return nil, err
@@ -188,6 +206,9 @@ func New(cfg Config) (*Server, error) {
 	mux.Handle("/v1/codecs", s.instrument("/v1/codecs", s.handleCodecs))
 	mux.Handle("/v1/jobs", s.instrument("/v1/jobs", s.handleJobs))
 	mux.Handle("/v1/jobs/", s.instrument("/v1/jobs/", s.handleJobByID))
+	mux.Handle("/v1/flows", s.instrument("/v1/flows", s.handleFlows))
+	mux.Handle("/v1/flows/", s.instrument("/v1/flows/", s.handleFlowByID))
+	mux.Handle("/v1/benchmarks", s.instrument("/v1/benchmarks", s.handleBenchmarks))
 	mux.Handle("/healthz", s.instrument("/healthz", s.handleHealthz))
 	mux.Handle("/metrics", s.instrument("/metrics", s.metrics.ServeHTTP))
 	mux.Handle("/metrics/prometheus", s.instrument("/metrics/prometheus", s.metrics.Prometheus().ServeHTTP))
@@ -199,6 +220,9 @@ func New(cfg Config) (*Server, error) {
 // synchronous endpoints would have (jobs cannot import serve, so the
 // mapping is injected here).
 func jobTaxonomyCode(kind jobs.Kind, err error) string {
+	if errors.Is(err, tcomp.ErrInvalidCircuit) {
+		return CodeFlowInvalidCircuit
+	}
 	if kind == jobs.KindDecompress {
 		return decodeErrorCode(err)
 	}

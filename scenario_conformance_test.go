@@ -1,0 +1,103 @@
+package tcomp
+
+// Conformance over the generated scenario corpus: every registered
+// codec must round-trip ATPG-shaped inputs — stuck-at sets, flattened
+// path-delay two-pattern sets, multichain substrings — losslessly
+// through both container formats. The purely synthetic adversarial sets
+// pin the hostile edge; this pins the realistic center: the don't-care
+// density and block correlation the paper's codecs are built for.
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"repro/internal/scenario"
+)
+
+func TestScenarioCorpusConformance(t *testing.T) {
+	corpus, err := scenario.Corpus(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(corpus) < 3 {
+		t.Fatalf("corpus has %d scenarios, want stuck-at + path-delay + multichain", len(corpus))
+	}
+	kinds := map[string]bool{}
+	for _, sc := range corpus {
+		kinds[sc.Kind] = true
+		if sc.Set.NumPatterns() == 0 {
+			t.Fatalf("%s: empty scenario", sc.Name)
+		}
+	}
+	for _, want := range []string{"stuck-at", "path-delay", "multichain"} {
+		if !kinds[want] {
+			t.Fatalf("corpus lacks a %s scenario (have %v)", want, kinds)
+		}
+	}
+
+	for _, sc := range corpus {
+		for _, name := range Codecs() {
+			codec, err := Lookup(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			label := sc.Name + "/" + name
+
+			// Buffered v2 container round trip.
+			art, err := codec.Compress(context.Background(), sc.Set, conformanceOpts(3)...)
+			if err != nil {
+				t.Errorf("%s: compress: %v", label, err)
+				continue
+			}
+			var buf bytes.Buffer
+			if err := Write(&buf, art); err != nil {
+				t.Errorf("%s: write: %v", label, err)
+				continue
+			}
+			back, err := Open(&buf)
+			if err != nil {
+				t.Errorf("%s: reopen: %v", label, err)
+				continue
+			}
+			dec, err := Decompress(back)
+			if err != nil {
+				t.Errorf("%s: decode: %v", label, err)
+				continue
+			}
+			if !VerifyLossless(sc.Set, dec) {
+				t.Errorf("%s: lossy v2 round trip", label)
+			}
+
+			// Chunked v3 stream round trip.
+			var sbuf bytes.Buffer
+			sw, err := NewStreamWriter(context.Background(), &sbuf, name, sc.Set.Width,
+				append(conformanceOpts(3), WithChunkPatterns(16))...)
+			if err != nil {
+				t.Errorf("%s: stream writer: %v", label, err)
+				continue
+			}
+			if err := sw.WriteSet(sc.Set); err != nil {
+				t.Errorf("%s: stream write: %v", label, err)
+				continue
+			}
+			if err := sw.Close(); err != nil {
+				t.Errorf("%s: stream close: %v", label, err)
+				continue
+			}
+			sr, err := NewStreamReader(bytes.NewReader(sbuf.Bytes()))
+			if err != nil {
+				t.Errorf("%s: stream reopen: %v", label, err)
+				continue
+			}
+			sdec, err := sr.ReadAll()
+			if err != nil {
+				t.Errorf("%s: stream decode: %v", label, err)
+				continue
+			}
+			if !VerifyLossless(sc.Set, sdec) {
+				t.Errorf("%s: lossy v3 round trip", label)
+			}
+		}
+	}
+}
